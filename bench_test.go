@@ -1,0 +1,348 @@
+package nda
+
+// One benchmark per table and figure of the paper's evaluation section,
+// plus micro-benchmarks of the simulator substrates. Each Fig/Table bench
+// regenerates (a reduced form of) the corresponding experiment per
+// iteration and reports the experiment's headline number as a custom
+// metric, so `go test -bench=. -benchmem` both exercises and summarizes
+// the reproduction. cmd/ndabench and cmd/ndattack produce the full-size
+// versions.
+
+import (
+	"testing"
+
+	"nda/internal/asm"
+	"nda/internal/attack"
+	"nda/internal/checkpoint"
+	"nda/internal/core"
+	"nda/internal/emu"
+	"nda/internal/harness"
+	"nda/internal/inorder"
+	"nda/internal/ooo"
+	"nda/internal/workload"
+)
+
+// benchConfig is a reduced sampling methodology sized for benchmarking.
+func benchConfig() harness.Config {
+	cfg := harness.Quick()
+	cfg.WarmInsts = 3_000
+	cfg.MeasureInsts = 3_000
+	cfg.SkipInsts = 1_000
+	cfg.Intervals = 3
+	return cfg
+}
+
+func benchSpecs(b *testing.B, names ...string) []workload.Spec {
+	b.Helper()
+	var out []workload.Spec
+	for _, n := range names {
+		s, err := workload.ByName(n)
+		if err != nil {
+			b.Fatal(err)
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// --- Fig. 4: Spectre v1 leak series on insecure OoO ---
+
+func BenchmarkFig4SpectreV1CacheBaseline(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		out, err := attack.Run(attack.SpectreV1Cache, core.Baseline(), ooo.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Leaked {
+			b.Fatal("baseline must leak")
+		}
+		margin = out.Margin
+	}
+	b.ReportMetric(margin, "leak-margin-cycles")
+}
+
+func BenchmarkFig4SpectreV1BTBBaseline(b *testing.B) {
+	var margin float64
+	for i := 0; i < b.N; i++ {
+		out, err := attack.Run(attack.SpectreV1BTB, core.Baseline(), ooo.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !out.Leaked {
+			b.Fatal("baseline must leak via the BTB")
+		}
+		margin = out.Margin
+	}
+	b.ReportMetric(margin, "leak-margin-cycles")
+}
+
+// --- Fig. 5: BTB misprediction penalty ---
+
+func BenchmarkFig5BTBMispredict(b *testing.B) {
+	var penalty int64
+	for i := 0; i < b.N; i++ {
+		r, err := harness.MeasureFig5(ooo.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		penalty = r.Penalty()
+	}
+	b.ReportMetric(float64(penalty), "penalty-cycles")
+}
+
+// --- Fig. 8: the same attacks blocked under NDA ---
+
+func BenchmarkFig8SpectreV1UnderNDA(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, kind := range []attack.Kind{attack.SpectreV1Cache, attack.SpectreV1BTB} {
+			out, err := attack.Run(kind, core.Permissive(), ooo.DefaultParams())
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Leaked {
+				b.Fatalf("%s must be blocked", kind)
+			}
+		}
+	}
+}
+
+// --- Tables 1 & 2 (security): the full attack x policy matrix ---
+
+func BenchmarkTable2AttackMatrix(b *testing.B) {
+	var matched float64
+	for i := 0; i < b.N; i++ {
+		cells, err := attack.Matrix(ooo.DefaultParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		matched = 0
+		for _, c := range cells {
+			if c.Matches() {
+				matched++
+			}
+		}
+		if int(matched) != len(cells) {
+			b.Fatalf("%d/%d matrix cells match the paper", int(matched), len(cells))
+		}
+	}
+	b.ReportMetric(matched, "cells-matching-paper")
+}
+
+// --- Fig. 7 / Table 2 (performance): normalized CPI per policy ---
+
+func BenchmarkFig7CPI(b *testing.B) {
+	specs := benchSpecs(b, "gcc", "exchange2", "bwaves", "xalancbmk")
+	pols := []core.Policy{core.Baseline(), core.Permissive(), core.FullProtection()}
+	var permOverhead float64
+	for i := 0; i < b.N; i++ {
+		sw, err := harness.RunSweep(specs, pols, true, benchConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		permOverhead = sw.Overhead("Permissive")
+	}
+	b.ReportMetric(permOverhead, "perm-overhead-pct")
+}
+
+func BenchmarkTable2Overheads(b *testing.B) {
+	specs := benchSpecs(b, "gcc", "mcf")
+	var fullOverhead float64
+	for i := 0; i < b.N; i++ {
+		sw, err := harness.RunSweep(specs, []core.Policy{core.Baseline(), core.FullProtection()}, false, benchConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		fullOverhead = sw.Overhead("FullProtection")
+	}
+	b.ReportMetric(fullOverhead, "full-overhead-pct")
+}
+
+// --- Fig. 9a-d: breakdown, MLP, ILP, dispatch->issue ---
+
+func BenchmarkFig9Aggregates(b *testing.B) {
+	specs := benchSpecs(b, "gcc", "bwaves")
+	var mlp float64
+	for i := 0; i < b.N; i++ {
+		sw, err := harness.RunSweep(specs, []core.Policy{core.Baseline(), core.Strict()}, false, benchConfig(), nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		m := sw.Get("Strict", "bwaves")
+		mlp = m.MLP
+		_ = harness.RenderFig9a(sw)
+		_ = harness.RenderFig9bcd(sw)
+	}
+	b.ReportMetric(mlp, "strict-bwaves-MLP")
+}
+
+// --- Fig. 9e: NDA logic latency sensitivity ---
+
+func BenchmarkFig9eLogicLatency(b *testing.B) {
+	var deltaPct float64
+	for i := 0; i < b.N; i++ {
+		rs, err := harness.RunFig9e("Permissive", []int{0, 1}, []string{"gcc"}, benchConfig())
+		if err != nil {
+			b.Fatal(err)
+		}
+		deltaPct = (rs[1].CPI/rs[0].CPI - 1) * 100
+	}
+	b.ReportMetric(deltaPct, "1cy-delay-cpi-pct")
+}
+
+// --- substrate micro-benchmarks ---
+
+// BenchmarkOoOSimThroughput measures simulator speed in simulated
+// instructions per wall second on a compute-bound workload.
+func BenchmarkOoOSimThroughput(b *testing.B) {
+	spec, _ := workload.ByName("exchange2")
+	prog := spec.Build(1 << 40)
+	b.ResetTimer()
+	total := 0.0
+	for i := 0; i < b.N; i++ {
+		c := ooo.NewFromProgram(prog, core.Baseline(), ooo.DefaultParams())
+		if err := c.RunInsts(50_000, 10_000_000); err != nil {
+			b.Fatal(err)
+		}
+		total += float64(c.Retired())
+	}
+	b.ReportMetric(total/b.Elapsed().Seconds(), "sim-inst/s")
+}
+
+func BenchmarkOoOSimThroughputMemoryBound(b *testing.B) {
+	spec, _ := workload.ByName("mcf")
+	prog := spec.Build(1 << 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := ooo.NewFromProgram(prog, core.Baseline(), ooo.DefaultParams())
+		if err := c.RunInsts(20_000, 50_000_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkInOrderSimThroughput(b *testing.B) {
+	spec, _ := workload.ByName("exchange2")
+	prog := spec.Build(1 << 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := inorder.NewFromProgram(prog, inorder.DefaultParams())
+		if err := m.RunInsts(50_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEmulator(b *testing.B) {
+	spec, _ := workload.ByName("exchange2")
+	prog := spec.Build(1 << 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := emu.New(prog)
+		if err := m.RunN(100_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAssembler(b *testing.B) {
+	src := `
+        .data
+        .org 0x10000
+buf:    .space 4096
+tbl:    .word64 1, 2, 3, 4
+        .text
+main:   li   t0, 100
+loop:   ld   t1, (s0)
+        add  t2, t1, t0
+        sd   t2, 8(s0)
+        addi t0, t0, -1
+        bne  t0, zero, loop
+        call fn
+        halt
+fn:     ret
+`
+	for i := 0; i < b.N; i++ {
+		if _, err := asm.Assemble(src); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkRandomProgramGeneration(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		workload.Random(int64(i), 200)
+	}
+}
+
+// --- ablation benches (DESIGN.md design-decision checks) ---
+
+// BenchmarkAblationBroadcastPorts quantifies the broadcast-port arbitration
+// design point: NDA adds no ports, so a single-port machine shows how much
+// the time-shifted broadcasts contend (paper §5.1).
+func BenchmarkAblationBroadcastPorts(b *testing.B) {
+	spec, _ := workload.ByName("gcc")
+	prog := spec.Build(1 << 40)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cpis := map[int]float64{}
+		for _, ports := range []int{8, 1} {
+			p := ooo.DefaultParams()
+			p.BroadcastPorts = ports
+			c := ooo.NewFromProgram(prog, core.Strict(), p)
+			if err := c.RunInsts(20_000, 50_000_000); err != nil {
+				b.Fatal(err)
+			}
+			cpis[ports] = c.Stats().CPI()
+		}
+		ratio = cpis[1] / cpis[8]
+	}
+	b.ReportMetric(ratio, "1-port/8-port-CPI")
+}
+
+// BenchmarkAblationSpeculativeBTB quantifies the cost of disabling
+// speculative BTB updates (which also closes the §3 covert channel).
+func BenchmarkAblationSpeculativeBTB(b *testing.B) {
+	spec, _ := workload.ByName("perlbench")
+	prog := spec.Build(1 << 40)
+	var ratio float64
+	for i := 0; i < b.N; i++ {
+		cpis := map[bool]float64{}
+		for _, specUpd := range []bool{true, false} {
+			p := ooo.DefaultParams()
+			p.SpeculativeBTBUpdate = specUpd
+			c := ooo.NewFromProgram(prog, core.Baseline(), p)
+			if err := c.RunInsts(20_000, 50_000_000); err != nil {
+				b.Fatal(err)
+			}
+			cpis[specUpd] = c.Stats().CPI()
+		}
+		ratio = cpis[false] / cpis[true]
+	}
+	b.ReportMetric(ratio, "nonspec/spec-BTB-CPI")
+}
+
+// BenchmarkCheckpointCapture measures the Lapidary-analogue snapshot cost.
+func BenchmarkCheckpointCapture(b *testing.B) {
+	spec, _ := workload.ByName("xz")
+	prog := spec.Build(1 << 40)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := checkpoint.Take(prog, 10_000); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCheckpointedMeasurement measures the full checkpoint-sampling
+// path the harness's UseCheckpoints mode uses.
+func BenchmarkCheckpointedMeasurement(b *testing.B) {
+	spec, _ := workload.ByName("exchange2")
+	cfg := benchConfig()
+	cfg.UseCheckpoints = true
+	for i := 0; i < b.N; i++ {
+		if _, err := harness.MeasureOoOCheckpointed(spec, core.Baseline(), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,111 @@
+// Command ndabench runs the paper's performance evaluation and prints each
+// table and figure as text:
+//
+//	ndabench                    # everything (Fig 7, Table 2/3, Fig 9a-e)
+//	ndabench -quick             # reduced sampling for a fast smoke run
+//	ndabench -experiments fig7,table2
+//	ndabench -workloads mcf,gcc,bwaves
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nda/internal/core"
+	"nda/internal/harness"
+	"nda/internal/ooo"
+	"nda/internal/workload"
+)
+
+func main() {
+	var (
+		quick       = flag.Bool("quick", false, "reduced sampling (faster, noisier)")
+		experiments = flag.String("experiments", "table3,fig5,fig7,table2,fig9a,fig9bcd,fig9e", "comma-separated list")
+		workloads   = flag.String("workloads", "", "benchmark subset (default: all 23 SPEC proxies)")
+		verbose     = flag.Bool("v", false, "print per-cell progress")
+		jsonOut     = flag.String("json", "", "also write the raw sweep measurements to this file as JSON")
+		checkpoints = flag.Bool("checkpoints", false, "sample via functional-fast-forward checkpoints (Lapidary/SMARTS style)")
+	)
+	flag.Parse()
+
+	cfg := harness.DefaultConfig()
+	if *quick {
+		cfg = harness.Quick()
+	}
+	cfg.UseCheckpoints = *checkpoints
+
+	specs := workload.SPEC()
+	if *workloads != "" {
+		specs = nil
+		for _, name := range strings.Split(*workloads, ",") {
+			s, err := workload.ByName(strings.TrimSpace(name))
+			check(err)
+			specs = append(specs, s)
+		}
+	}
+
+	want := map[string]bool{}
+	for _, e := range strings.Split(*experiments, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+
+	if want["table3"] {
+		fmt.Println(harness.RenderTable3(ooo.DefaultParams()))
+	}
+	if want["fig5"] {
+		r, err := harness.MeasureFig5(ooo.DefaultParams())
+		check(err)
+		fmt.Println(harness.RenderFig5(r))
+	}
+
+	var sw *harness.Sweep
+	if want["fig7"] || want["table2"] || want["fig9a"] || want["fig9bcd"] {
+		var progress func(string)
+		if *verbose {
+			progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
+		}
+		var err error
+		sw, err = harness.RunSweep(specs, core.All(), true, cfg, progress)
+		check(err)
+	}
+	if sw != nil && *jsonOut != "" {
+		buf, err := json.MarshalIndent(sw, "", "  ")
+		check(err)
+		check(os.WriteFile(*jsonOut, buf, 0o644))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonOut)
+	}
+	if want["fig7"] {
+		fmt.Println(harness.RenderFig7(sw))
+	}
+	if want["table2"] {
+		fmt.Println(harness.RenderTable2(sw))
+	}
+	if want["fig9a"] {
+		fmt.Println(harness.RenderFig9a(sw))
+	}
+	if want["fig9bcd"] {
+		fmt.Println(harness.RenderFig9bcd(sw))
+	}
+	if want["fig9e"] {
+		names := []string{"gcc", "deepsjeng", "xalancbmk", "perlbench"}
+		if *workloads != "" {
+			names = nil
+			for _, s := range specs {
+				names = append(names, s.Name)
+			}
+		}
+		rs, err := harness.RunFig9e("Permissive", []int{0, 1, 2}, names, cfg)
+		check(err)
+		fmt.Println(harness.RenderFig9e(rs))
+	}
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndabench:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,174 @@
+// Command ndattack runs the speculative-execution-attack proofs-of-concept
+// and reproduces the paper's security results:
+//
+//	ndattack -matrix           # Table 2 security columns: 9 attacks x 10 configs
+//	ndattack -fig4             # Spectre v1 leak series on insecure OoO (cache + BTB)
+//	ndattack -fig5             # BTB misprediction penalty
+//	ndattack -fig8             # the same series under NDA permissive propagation
+//	ndattack -attack meltdown -policy RestrictedLoads
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nda/internal/attack"
+	"nda/internal/core"
+	"nda/internal/harness"
+	"nda/internal/ooo"
+)
+
+func main() {
+	var (
+		matrix     = flag.Bool("matrix", false, "run every attack under every configuration (Tables 1 & 2)")
+		fig4       = flag.Bool("fig4", false, "Spectre v1 guess series on insecure OoO (Fig. 4)")
+		fig5       = flag.Bool("fig5", false, "BTB misprediction penalty (Fig. 5)")
+		fig8       = flag.Bool("fig8", false, "Spectre v1 guess series under NDA permissive (Fig. 8)")
+		attackName = flag.String("attack", "", "run one attack (spectre-v1-cache, spectre-v1-btb, meltdown, ssb, lazyfp-rdmsr, gpr-steering)")
+		policyName = flag.String("policy", "OoO", "policy for -attack")
+	)
+	flag.Parse()
+	params := ooo.DefaultParams()
+
+	ran := false
+	if *matrix {
+		runMatrix(params)
+		ran = true
+	}
+	if *fig4 {
+		fmt.Println("Fig. 4 — Spectre v1 on insecure OoO (cycles per guess; dip = leaked byte)")
+		series(attack.SpectreV1Cache, core.Baseline(), params)
+		series(attack.SpectreV1BTB, core.Baseline(), params)
+		ran = true
+	}
+	if *fig5 {
+		r, err := harness.MeasureFig5(params)
+		check(err)
+		fmt.Print(harness.RenderFig5(r))
+		ran = true
+	}
+	if *fig8 {
+		fmt.Println("Fig. 8 — Spectre v1 under NDA permissive propagation (series flat: no leak)")
+		series(attack.SpectreV1Cache, core.Permissive(), params)
+		series(attack.SpectreV1BTB, core.Permissive(), params)
+		ran = true
+	}
+	if *attackName != "" {
+		pol, err := core.ByName(*policyName)
+		check(err)
+		out, err := attack.Run(attack.Kind(*attackName), pol, params)
+		check(err)
+		fmt.Println(out)
+		plot(out)
+		ran = true
+	}
+	if !ran {
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runMatrix(params ooo.Params) {
+	cells, err := attack.Matrix(params)
+	check(err)
+	fmt.Println("Attack x configuration matrix (paper Table 2 security columns).")
+	fmt.Println("LEAKED = secret byte recovered; blocked = timing series flat.")
+	fmt.Println()
+	fmt.Printf("%-18s %-16s %-8s", "attack", "class", "channel")
+	configs := []string{}
+	for _, p := range core.All() {
+		configs = append(configs, p.Name)
+	}
+	configs = append(configs, "In-Order")
+	for _, c := range configs {
+		fmt.Printf(" %8.8s", c)
+	}
+	fmt.Println()
+
+	byAttack := map[attack.Kind]map[string]attack.Cell{}
+	mismatches := 0
+	for _, c := range cells {
+		if byAttack[c.Attack] == nil {
+			byAttack[c.Attack] = map[string]attack.Cell{}
+		}
+		byAttack[c.Attack][c.Policy] = c
+		if !c.Matches() {
+			mismatches++
+		}
+	}
+	for _, k := range attack.All() {
+		fmt.Printf("%-18s %-16s %-8s", k, k.Class(), k.Channel())
+		for _, cfg := range configs {
+			c := byAttack[k][cfg]
+			mark := "."
+			if c.Outcome != nil && c.Outcome.Leaked {
+				mark = "LEAK"
+			}
+			if c.Outcome != nil && !c.Matches() {
+				mark += "!"
+			}
+			fmt.Printf(" %8s", mark)
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+	if mismatches == 0 {
+		fmt.Println("all verdicts match the paper's Table 2")
+	} else {
+		fmt.Printf("%d verdicts DIVERGE from the paper (marked with !)\n", mismatches)
+		os.Exit(1)
+	}
+}
+
+func series(kind attack.Kind, pol core.Policy, params ooo.Params) {
+	out, err := attack.Run(kind, pol, params)
+	check(err)
+	fmt.Println()
+	fmt.Println(out)
+	plot(out)
+}
+
+// plot prints a coarse text plot of the 256-guess series, 8 guesses per
+// bucket, marking the secret's bucket.
+func plot(out *attack.Outcome) {
+	max := 0.0
+	for _, v := range out.Series {
+		if v > max {
+			max = v
+		}
+	}
+	if max == 0 {
+		return
+	}
+	fmt.Printf("  guess:   min cycles per 8-guess bucket (secret byte %d marked *)\n", out.Secret)
+	for b := 0; b < attack.NumGuesses; b += 8 {
+		lo := out.Series[b]
+		for g := b; g < b+8; g++ {
+			if out.Series[g] < lo {
+				lo = out.Series[g]
+			}
+		}
+		bar := int(lo / max * 50)
+		mark := " "
+		if int(out.Secret) >= b && int(out.Secret) < b+8 {
+			mark = "*"
+		}
+		fmt.Printf("  %3d-%3d%s %6.0f |%s\n", b, b+7, mark, lo, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "#"
+	}
+	return s
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndattack:", err)
+		os.Exit(1)
+	}
+}

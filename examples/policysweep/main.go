@@ -1,0 +1,40 @@
+// Policysweep: measure a handful of benchmark proxies under every NDA
+// policy and print a miniature of the paper's Fig. 7 — CPI normalized to
+// the insecure out-of-order baseline, with the security/performance
+// trade-off visible per policy.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"nda"
+)
+
+func main() {
+	var benchmarks []nda.Benchmark
+	names := []string{"mcf", "gcc", "exchange2", "bwaves", "xalancbmk"}
+	if len(os.Args) > 1 {
+		names = os.Args[1:]
+	}
+	for _, n := range names {
+		b, err := nda.BenchmarkByName(n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benchmarks = append(benchmarks, b)
+	}
+
+	fmt.Printf("measuring %d benchmarks x %d configurations (a few minutes)...\n\n",
+		len(benchmarks), len(nda.Policies())+1)
+	sweep, err := nda.RunEvaluation(benchmarks, nda.Policies(), true,
+		nda.QuickHarnessConfig(), nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(nda.RenderFig7(sweep))
+	fmt.Println()
+	fmt.Print(nda.RenderTable2(sweep))
+}

@@ -1,0 +1,14 @@
+# fib.s — compute fib(30) iteratively; result in a0.
+#
+#   go run ./cmd/ndasim -regs examples/programs/fib.s
+        .text
+main:   li   t0, 0           # fib(i)
+        li   t1, 1           # fib(i+1)
+        li   t2, 30          # counter
+loop:   add  t3, t0, t1
+        mv   t0, t1
+        mv   t1, t3
+        addi t2, t2, -1
+        bne  t2, zero, loop
+        mv   a0, t0
+        halt

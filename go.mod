@@ -1,0 +1,3 @@
+module nda
+
+go 1.22

@@ -1,0 +1,77 @@
+package asm
+
+import (
+	"fmt"
+	"strings"
+
+	"nda/internal/isa"
+)
+
+// Disassemble renders a program back into assembler source accepted by
+// Assemble. The round trip Assemble(Disassemble(p)) reproduces p exactly:
+// same text base, instructions, entry point, and data bytes (segment
+// boundaries may be merged). Labels are synthesized only where needed (the
+// entry point); branch and jump targets are emitted as absolute addresses,
+// which the assembler accepts directly.
+func Disassemble(p *isa.Program) string {
+	var b strings.Builder
+
+	b.WriteString("        .text\n")
+	fmt.Fprintf(&b, "        .org 0x%x\n", p.TextBase)
+	for i, inst := range p.Insts {
+		pc := p.TextBase + uint64(i)*isa.InstBytes
+		if pc == p.Entry {
+			b.WriteString("main:\n")
+		}
+		fmt.Fprintf(&b, "        %s\n", instSyntax(inst))
+	}
+
+	if len(p.Data) > 0 {
+		b.WriteString("\n        .data\n")
+		kernel := false
+		for _, seg := range p.Data {
+			if seg.Kernel != kernel {
+				if seg.Kernel {
+					b.WriteString("        .kernel\n")
+				} else {
+					b.WriteString("        .user\n")
+				}
+				kernel = seg.Kernel
+			}
+			fmt.Fprintf(&b, "        .org 0x%x\n", seg.Addr)
+			for off := 0; off < len(seg.Bytes); off += 16 {
+				end := off + 16
+				if end > len(seg.Bytes) {
+					end = len(seg.Bytes)
+				}
+				b.WriteString("        .byte ")
+				for i := off; i < end; i++ {
+					if i > off {
+						b.WriteString(", ")
+					}
+					fmt.Fprintf(&b, "0x%02x", seg.Bytes[i])
+				}
+				b.WriteString("\n")
+			}
+		}
+	}
+	return b.String()
+}
+
+// instSyntax renders one instruction in re-assemblable form. It matches
+// isa.Inst.String except for the few cases where the display form is not
+// valid assembler input.
+func instSyntax(i isa.Inst) string {
+	switch i.Op {
+	case isa.OpJal:
+		// isa.Inst.String prints "jal" for all link registers; the
+		// assembler's "jal rd, target" form covers every case.
+		return fmt.Sprintf("jal %s, 0x%x", i.Rd, uint64(i.Imm))
+	case isa.OpLui:
+		// "li rd, imm" with the immediate printed as signed decimal, which
+		// the assembler parses back into the same 64-bit pattern.
+		return fmt.Sprintf("li %s, %d", i.Rd, i.Imm)
+	default:
+		return i.String()
+	}
+}

@@ -1,0 +1,233 @@
+package core
+
+import (
+	"testing"
+
+	"nda/internal/isa"
+)
+
+func TestPolicyTable2Matrix(t *testing.T) {
+	// Each policy's flags must match its Table 2 row.
+	cases := []struct {
+		p                              Policy
+		prop, restrictAll, br, loadRes bool
+		vis                            Visibility
+	}{
+		{Baseline(), false, false, false, false, VisibleAlways},
+		{Permissive(), true, false, false, false, VisibleAlways},
+		{PermissiveBR(), true, false, true, false, VisibleAlways},
+		{Strict(), true, true, false, false, VisibleAlways},
+		{StrictBR(), true, true, true, false, VisibleAlways},
+		{LoadRestrict(), false, false, false, true, VisibleAlways},
+		{FullProtection(), true, true, true, true, VisibleAlways},
+		{InvisiSpecSpectre(), false, false, false, false, InvisibleUntilResolved},
+		{InvisiSpecFuture(), false, false, false, false, InvisibleUntilRetire},
+	}
+	for _, c := range cases {
+		if c.p.PropagationRestricted != c.prop || c.p.RestrictAll != c.restrictAll ||
+			c.p.BypassRestriction != c.br || c.p.LoadRestriction != c.loadRes ||
+			c.p.LoadVisibility != c.vis {
+			t.Errorf("%s flags = %+v", c.p.Name, c.p)
+		}
+	}
+}
+
+func TestSecure(t *testing.T) {
+	if Baseline().Secure() {
+		t.Error("baseline must not claim security")
+	}
+	for _, p := range All()[1:] {
+		if !p.Secure() {
+			t.Errorf("%s must be secure", p.Name)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, p := range All() {
+		got, err := ByName(p.Name)
+		if err != nil || got.Name != p.Name {
+			t.Errorf("ByName(%q) = %v, %v", p.Name, got.Name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name must error")
+	}
+}
+
+// mkNodes builds a ROB view from a class string: b=branch (unresolved),
+// B=branch (resolved), l=load, s=store, a=alu.
+func mkNodes(spec string) []*Node {
+	nodes := make([]*Node, len(spec))
+	for i, ch := range spec {
+		n := &Node{}
+		switch ch {
+		case 'b':
+			n.Class = isa.ClassBranch
+		case 'B':
+			n.Class = isa.ClassBranch
+			n.GuardResolved = true
+		case 'l':
+			n.Class = isa.ClassLoad
+		case 's':
+			n.Class = isa.ClassStore
+		case 'a':
+			n.Class = isa.ClassOther
+		}
+		nodes[i] = n
+	}
+	return nodes
+}
+
+func TestRecomputeGuardsWalk(t *testing.T) {
+	p := Strict()
+	nodes := mkNodes("aBlbal")
+	p.RecomputeGuards(nodes)
+	want := []bool{false, false, false, false, true, true}
+	for i, n := range nodes {
+		if n.UnderGuard != want[i] {
+			t.Errorf("node %d UnderGuard = %v, want %v", i, n.UnderGuard, want[i])
+		}
+	}
+}
+
+func TestRecomputeGuardsResolutionClears(t *testing.T) {
+	p := Permissive()
+	nodes := mkNodes("blal")
+	p.RecomputeGuards(nodes)
+	if !nodes[1].UnderGuard || !nodes[3].UnderGuard {
+		t.Fatal("loads after unresolved branch must be under guard")
+	}
+	nodes[0].GuardResolved = true // branch resolves
+	p.RecomputeGuards(nodes)
+	for i, n := range nodes {
+		if n.UnderGuard {
+			t.Errorf("node %d still under guard after resolution", i)
+		}
+	}
+}
+
+func TestRecomputeGuardsStopsAtNextUnresolved(t *testing.T) {
+	// "mark safe until the NEXT eldest unresolved branch" (§5.1).
+	p := Strict()
+	nodes := mkNodes("Bababa")
+	p.RecomputeGuards(nodes)
+	want := []bool{false, false, false, true, true, true}
+	for i, n := range nodes {
+		if n.UnderGuard != want[i] {
+			t.Errorf("node %d UnderGuard = %v, want %v", i, n.UnderGuard, want[i])
+		}
+	}
+}
+
+func TestBaselineNeverRestricts(t *testing.T) {
+	p := Baseline()
+	n := &Node{Class: isa.ClassLoad, UnderGuard: true, BypassGuards: 3, Completed: true}
+	if p.Unsafe(n, false) {
+		t.Error("baseline must never mark anything unsafe")
+	}
+	if !p.MayBroadcast(n, false) {
+		t.Error("baseline must broadcast completed instructions")
+	}
+}
+
+func TestPermissiveRestrictsOnlyLoads(t *testing.T) {
+	p := Permissive()
+	load := &Node{Class: isa.ClassLoad, UnderGuard: true, Completed: true}
+	alu := &Node{Class: isa.ClassOther, UnderGuard: true, Completed: true}
+	if !p.Unsafe(load, false) {
+		t.Error("permissive must restrict a load under guard")
+	}
+	if p.Unsafe(alu, false) {
+		t.Error("permissive must not restrict ALU ops (§5.2)")
+	}
+	load.UnderGuard = false
+	if p.Unsafe(load, false) {
+		t.Error("guard-free load must be safe")
+	}
+}
+
+func TestStrictRestrictsEverything(t *testing.T) {
+	p := Strict()
+	for _, cls := range []isa.Class{isa.ClassLoad, isa.ClassOther, isa.ClassStore, isa.ClassBranch} {
+		n := &Node{Class: cls, UnderGuard: true, Completed: true}
+		if !p.Unsafe(n, false) {
+			t.Errorf("strict must restrict class %d under guard", cls)
+		}
+	}
+}
+
+func TestBypassRestriction(t *testing.T) {
+	n := &Node{Class: isa.ClassLoad, BypassGuards: 1, Completed: true}
+	if !PermissiveBR().Unsafe(n, false) {
+		t.Error("BR must restrict a load with outstanding bypass guards")
+	}
+	if Permissive().Unsafe(n, false) {
+		t.Error("plain permissive must ignore bypass guards (does not block SSB)")
+	}
+	n.BypassGuards = 0
+	if PermissiveBR().Unsafe(n, false) {
+		t.Error("cleared guards must release the load")
+	}
+}
+
+func TestLoadRestriction(t *testing.T) {
+	p := LoadRestrict()
+	load := &Node{Class: isa.ClassLoad, Completed: true}
+	if !p.Unsafe(load, false) {
+		t.Error("load restriction must hold a non-head load")
+	}
+	if p.Unsafe(load, true) {
+		t.Error("the eldest load must be safe (about to retire)")
+	}
+	alu := &Node{Class: isa.ClassOther, UnderGuard: true, Completed: true}
+	if p.Unsafe(alu, false) {
+		t.Error("load restriction must not touch non-loads")
+	}
+}
+
+func TestFullProtectionComposes(t *testing.T) {
+	p := FullProtection()
+	load := &Node{Class: isa.ClassLoad, Completed: true}
+	if !p.Unsafe(load, false) {
+		t.Error("full protection must load-restrict")
+	}
+	alu := &Node{Class: isa.ClassOther, UnderGuard: true, Completed: true}
+	if !p.Unsafe(alu, false) {
+		t.Error("full protection must strict-restrict")
+	}
+	headLoad := &Node{Class: isa.ClassLoad, Completed: true}
+	if p.Unsafe(headLoad, true) {
+		t.Error("eldest guard-free load must broadcast under full protection")
+	}
+}
+
+func TestMayBroadcastRequiresCompletion(t *testing.T) {
+	p := Baseline()
+	n := &Node{Class: isa.ClassOther}
+	if p.MayBroadcast(n, false) {
+		t.Error("incomplete instruction must not broadcast")
+	}
+	n.Completed = true
+	n.Broadcast = true
+	if p.MayBroadcast(n, false) {
+		t.Error("already-broadcast instruction must not broadcast again")
+	}
+}
+
+func TestInvisiSpecDoesNotRestrictPropagation(t *testing.T) {
+	for _, p := range []Policy{InvisiSpecSpectre(), InvisiSpecFuture()} {
+		n := &Node{Class: isa.ClassLoad, UnderGuard: true, Completed: true}
+		if p.Unsafe(n, false) {
+			t.Errorf("%s must not defer broadcasts (it hides fills instead)", p.Name)
+		}
+	}
+}
+
+func TestRdmsrIsLoadClass(t *testing.T) {
+	// §4.3: special-register reads are treated like loads by every policy.
+	n := &Node{Class: isa.ClassOf(isa.Inst{Op: isa.OpRdmsr}), Completed: true}
+	if !LoadRestrict().Unsafe(n, false) {
+		t.Error("rdmsr must be load-restricted")
+	}
+}

@@ -1,0 +1,101 @@
+package harness
+
+import (
+	"fmt"
+
+	"nda/internal/checkpoint"
+	"nda/internal/core"
+	"nda/internal/ooo"
+	"nda/internal/stats"
+	"nda/internal/workload"
+)
+
+// Checkpoint-based SMARTS sampling: instead of simulating the whole region
+// between measurement intervals in detail (the continuous mode of
+// MeasureOoO), the functional emulator fast-forwards to sampling points
+// spread CheckpointStride instructions apart, captures an architectural
+// checkpoint at each (the Lapidary role), and the timing core runs only the
+// warm-up + measurement window from every checkpoint. This both cuts
+// detailed-simulation cost and samples more distant program phases, like
+// the paper's methodology.
+
+// MeasureOoOCheckpointed measures one benchmark under one policy using
+// checkpoint sampling. cfg.Intervals checkpoints are taken starting after
+// cfg.WarmInsts instructions, spaced cfg.CheckpointStride apart; each is
+// warmed for cfg.WarmInsts detailed instructions and measured for
+// cfg.MeasureInsts.
+func MeasureOoOCheckpointed(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
+	prog := spec.Build(hugeIters)
+	stride := cfg.CheckpointStride
+	if stride == 0 {
+		stride = 10 * (cfg.WarmInsts + cfg.MeasureInsts)
+	}
+	cps, err := checkpoint.TakeSeries(prog, cfg.WarmInsts, stride, cfg.Intervals)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s checkpoints: %w", spec.Name, err)
+	}
+
+	m := &Measurement{Workload: spec.Name, Config: pol.Name}
+	var cpis []float64
+	var agg ooo.Stats
+	for i, cp := range cps {
+		c := cp.OoO(prog, pol, cfg.Params)
+		if err := c.RunInsts(cfg.WarmInsts, cfg.MaxCycles); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s sample %d warm-up: %w", spec.Name, pol.Name, i, err)
+		}
+		c.ResetStats()
+		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s sample %d: %w", spec.Name, pol.Name, i, err)
+		}
+		s := c.Stats()
+		cpis = append(cpis, s.CPI())
+		addStats(&agg, s)
+	}
+	m.CPI = stats.Summarize(cpis)
+	fillFromStats(m, &agg)
+	return m, nil
+}
+
+// MeasureInOrderCheckpointed is the in-order counterpart.
+func MeasureInOrderCheckpointed(spec workload.Spec, cfg Config) (*Measurement, error) {
+	prog := spec.Build(hugeIters)
+	stride := cfg.CheckpointStride
+	if stride == 0 {
+		stride = 10 * (cfg.WarmInsts + cfg.MeasureInsts)
+	}
+	cps, err := checkpoint.TakeSeries(prog, cfg.WarmInsts, stride, cfg.Intervals)
+	if err != nil {
+		return nil, fmt.Errorf("harness: %s checkpoints: %w", spec.Name, err)
+	}
+	m := &Measurement{Workload: spec.Name, Config: InOrderName}
+	var cpis []float64
+	var cycles, committed, mlpSum, mlpCyc, ilpSum, ilpCyc uint64
+	for i, cp := range cps {
+		c := cp.InOrder(prog, cfg.IOParams)
+		if err := c.RunInsts(cfg.WarmInsts); err != nil {
+			return nil, fmt.Errorf("harness: %s/in-order sample %d warm-up: %w", spec.Name, i, err)
+		}
+		c.ResetStats()
+		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
+			return nil, err
+		}
+		s := c.Stats()
+		cpis = append(cpis, s.CPI())
+		cycles += s.Cycles
+		committed += s.Committed
+		mlpSum += s.MLPSum
+		mlpCyc += s.MLPCycles
+		ilpSum += s.ILPSum
+		ilpCyc += s.ILPCycles
+	}
+	m.CPI = stats.Summarize(cpis)
+	m.Cycles, m.Committed = cycles, committed
+	if mlpCyc > 0 {
+		m.MLP = float64(mlpSum) / float64(mlpCyc)
+	}
+	if ilpCyc > 0 {
+		m.ILP = float64(ilpSum) / float64(ilpCyc)
+	}
+	m.CommitFrac = 1
+	return m, nil
+}

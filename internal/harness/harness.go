@@ -1,0 +1,301 @@
+// Package harness drives the paper's performance evaluation: it runs the
+// SPEC CPU 2017 proxy benchmarks on every core configuration with a
+// SMARTS-like sampling methodology (warm-up, then alternating measurement
+// and skip intervals), aggregates the statistics each figure needs, and
+// renders the tables and series of Fig. 7, Table 2/3, and Fig. 9a–e as
+// text.
+package harness
+
+import (
+	"fmt"
+
+	"nda/internal/core"
+	"nda/internal/inorder"
+	"nda/internal/ooo"
+	"nda/internal/stats"
+	"nda/internal/workload"
+)
+
+// InOrderName is the configuration label of the in-order baseline.
+const InOrderName = "In-Order"
+
+// Config controls the sampling methodology. The defaults mirror the paper's
+// SMARTS setup in miniature: warm the micro-architecture, then measure
+// fixed instruction windows at intervals and report a CPI confidence
+// interval across them.
+type Config struct {
+	WarmInsts    uint64
+	MeasureInsts uint64
+	SkipInsts    uint64
+	Intervals    int
+	MaxCycles    uint64 // per full benchmark run; guards runaway configs
+
+	// UseCheckpoints switches RunSweep to checkpoint-based sampling (see
+	// MeasureOoOCheckpointed): the emulator fast-forwards between sampling
+	// points instead of the timing core simulating the gaps.
+	UseCheckpoints bool
+	// CheckpointStride is the functional distance between sampling points;
+	// 0 means 10x the warm+measure window.
+	CheckpointStride uint64
+
+	Params   ooo.Params
+	IOParams inorder.Params
+}
+
+// DefaultConfig returns the standard methodology: 20k warm-up, 8 intervals
+// of 10k measured instructions separated by 10k skipped instructions.
+func DefaultConfig() Config {
+	return Config{
+		WarmInsts:    20_000,
+		MeasureInsts: 10_000,
+		SkipInsts:    10_000,
+		Intervals:    8,
+		MaxCycles:    80_000_000,
+		Params:       ooo.DefaultParams(),
+		IOParams:     inorder.DefaultParams(),
+	}
+}
+
+// Quick returns a reduced methodology for tests and smoke runs.
+func Quick() Config {
+	c := DefaultConfig()
+	c.WarmInsts = 5_000
+	c.MeasureInsts = 4_000
+	c.SkipInsts = 2_000
+	c.Intervals = 4
+	return c
+}
+
+// Measurement aggregates one (benchmark, configuration) cell.
+type Measurement struct {
+	Workload string
+	Config   string
+
+	CPI stats.Summary // across measurement intervals
+
+	// Aggregates over all measured intervals.
+	Cycles    uint64
+	Committed uint64
+	MLP       float64
+	ILP       float64
+	D2I       float64 // mean dispatch->issue latency
+
+	// Cycle breakdown fractions (Fig. 9a), of measured cycles.
+	CommitFrac, MemFrac, BackendFrac, FrontendFrac float64
+
+	// NDA bookkeeping.
+	DeferredPerKilo float64 // deferred broadcasts per 1000 instructions
+	MispredictRate  float64
+}
+
+// hugeIters makes benchmark loops effectively unbounded; the harness stops
+// by instruction budget.
+const hugeIters = 1 << 40
+
+// MeasureOoO runs one benchmark under one policy.
+func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
+	prog := spec.Build(hugeIters)
+	c := ooo.NewFromProgram(prog, pol, cfg.Params)
+	if err := c.RunInsts(cfg.WarmInsts, cfg.MaxCycles); err != nil {
+		return nil, fmt.Errorf("harness: %s/%s warm-up: %w", spec.Name, pol.Name, err)
+	}
+
+	m := &Measurement{Workload: spec.Name, Config: pol.Name}
+	var cpis []float64
+	var agg ooo.Stats
+	for i := 0; i < cfg.Intervals; i++ {
+		c.ResetStats()
+		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
+			return nil, fmt.Errorf("harness: %s/%s interval %d: %w", spec.Name, pol.Name, i, err)
+		}
+		s := c.Stats()
+		cpis = append(cpis, s.CPI())
+		addStats(&agg, s)
+		if i < cfg.Intervals-1 && cfg.SkipInsts > 0 {
+			c.ResetStats()
+			if err := c.RunInsts(cfg.SkipInsts, cfg.MaxCycles); err != nil {
+				return nil, fmt.Errorf("harness: %s/%s skip %d: %w", spec.Name, pol.Name, i, err)
+			}
+		}
+	}
+	m.CPI = stats.Summarize(cpis)
+	fillFromStats(m, &agg)
+	return m, nil
+}
+
+// MeasureInOrder runs one benchmark on the in-order core.
+func MeasureInOrder(spec workload.Spec, cfg Config) (*Measurement, error) {
+	prog := spec.Build(hugeIters)
+	c := inorder.NewFromProgram(prog, cfg.IOParams)
+	if err := c.RunInsts(cfg.WarmInsts); err != nil {
+		return nil, fmt.Errorf("harness: %s/in-order warm-up: %w", spec.Name, err)
+	}
+	m := &Measurement{Workload: spec.Name, Config: InOrderName}
+	var cpis []float64
+	var cycles, committed uint64
+	var mlpSum, mlpCyc, ilpSum, ilpCyc uint64
+	for i := 0; i < cfg.Intervals; i++ {
+		c.ResetStats()
+		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
+			return nil, err
+		}
+		s := c.Stats()
+		cpis = append(cpis, s.CPI())
+		cycles += s.Cycles
+		committed += s.Committed
+		mlpSum += s.MLPSum
+		mlpCyc += s.MLPCycles
+		ilpSum += s.ILPSum
+		ilpCyc += s.ILPCycles
+		if i < cfg.Intervals-1 && cfg.SkipInsts > 0 {
+			c.ResetStats()
+			if err := c.RunInsts(cfg.SkipInsts); err != nil {
+				return nil, err
+			}
+		}
+	}
+	m.CPI = stats.Summarize(cpis)
+	m.Cycles, m.Committed = cycles, committed
+	if mlpCyc > 0 {
+		m.MLP = float64(mlpSum) / float64(mlpCyc)
+	}
+	if ilpCyc > 0 {
+		m.ILP = float64(ilpSum) / float64(ilpCyc)
+	}
+	// The whole cycle is "commit" from the blocking core's perspective.
+	m.CommitFrac = 1
+	return m, nil
+}
+
+func addStats(dst, src *ooo.Stats) {
+	dst.Cycles += src.Cycles
+	dst.Committed += src.Committed
+	dst.CommitCycles += src.CommitCycles
+	dst.MemStallCycles += src.MemStallCycles
+	dst.BackendStalls += src.BackendStalls
+	dst.FrontendStalls += src.FrontendStalls
+	dst.MLPSum += src.MLPSum
+	dst.MLPCycles += src.MLPCycles
+	dst.ILPSum += src.ILPSum
+	dst.ILPCycles += src.ILPCycles
+	dst.DispatchToIssueSum += src.DispatchToIssueSum
+	dst.DispatchToIssueCount += src.DispatchToIssueCount
+	dst.DeferredBroadcasts += src.DeferredBroadcasts
+	dst.DeferralCycles += src.DeferralCycles
+	dst.BranchesResolved += src.BranchesResolved
+	dst.Mispredicts += src.Mispredicts
+}
+
+func fillFromStats(m *Measurement, s *ooo.Stats) {
+	m.Cycles, m.Committed = s.Cycles, s.Committed
+	m.MLP = s.MLP()
+	m.ILP = s.ILP()
+	m.D2I = s.DispatchToIssue()
+	if s.Cycles > 0 {
+		total := float64(s.Cycles)
+		m.CommitFrac = float64(s.CommitCycles) / total
+		m.MemFrac = float64(s.MemStallCycles) / total
+		m.BackendFrac = float64(s.BackendStalls) / total
+		m.FrontendFrac = float64(s.FrontendStalls) / total
+	}
+	if s.Committed > 0 {
+		m.DeferredPerKilo = 1000 * float64(s.DeferredBroadcasts) / float64(s.Committed)
+	}
+	m.MispredictRate = s.MispredictRate()
+}
+
+// Sweep is the full evaluation grid: every benchmark under every
+// configuration (policies plus optionally the in-order core).
+type Sweep struct {
+	Workloads []string
+	Configs   []string
+	Cells     map[string]map[string]*Measurement // config -> workload -> cell
+}
+
+// Get returns one cell (nil if missing).
+func (s *Sweep) Get(config, workload string) *Measurement {
+	if m, ok := s.Cells[config]; ok {
+		return m[workload]
+	}
+	return nil
+}
+
+// Baseline returns the insecure OoO measurement for a workload.
+func (s *Sweep) Baseline(workload string) *Measurement {
+	return s.Get(core.Baseline().Name, workload)
+}
+
+// NormalizedCPI returns config CPI / baseline-OoO CPI for a workload.
+func (s *Sweep) NormalizedCPI(config, workload string) float64 {
+	base := s.Baseline(workload)
+	m := s.Get(config, workload)
+	if base == nil || m == nil || base.CPI.Mean == 0 {
+		return 0
+	}
+	return m.CPI.Mean / base.CPI.Mean
+}
+
+// MeanNormalizedCPI averages NormalizedCPI over all workloads (the
+// rightmost bars of Fig. 7 and the overhead column of Table 2).
+func (s *Sweep) MeanNormalizedCPI(config string) float64 {
+	var xs []float64
+	for _, w := range s.Workloads {
+		if v := s.NormalizedCPI(config, w); v > 0 {
+			xs = append(xs, v)
+		}
+	}
+	return stats.Mean(xs)
+}
+
+// Overhead returns the average slowdown vs insecure OoO in percent.
+func (s *Sweep) Overhead(config string) float64 {
+	return (s.MeanNormalizedCPI(config) - 1) * 100
+}
+
+// RunSweep measures every benchmark under every policy (and, when
+// includeInOrder is set, the in-order core). progress, if non-nil, receives
+// one line per completed cell.
+func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool, cfg Config, progress func(string)) (*Sweep, error) {
+	sw := &Sweep{Cells: make(map[string]map[string]*Measurement)}
+	for _, spec := range specs {
+		sw.Workloads = append(sw.Workloads, spec.Name)
+	}
+	note := func(m *Measurement) {
+		if progress != nil {
+			progress(fmt.Sprintf("%-18s %-14s CPI %s", m.Config, m.Workload, m.CPI))
+		}
+	}
+	for _, pol := range policies {
+		sw.Configs = append(sw.Configs, pol.Name)
+		sw.Cells[pol.Name] = make(map[string]*Measurement)
+		for _, spec := range specs {
+			measure := MeasureOoO
+			if cfg.UseCheckpoints {
+				measure = MeasureOoOCheckpointed
+			}
+			m, err := measure(spec, pol, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sw.Cells[pol.Name][spec.Name] = m
+			note(m)
+		}
+	}
+	if includeInOrder {
+		sw.Configs = append(sw.Configs, InOrderName)
+		sw.Cells[InOrderName] = make(map[string]*Measurement)
+		for _, spec := range specs {
+			measure := MeasureInOrder
+			if cfg.UseCheckpoints {
+				measure = MeasureInOrderCheckpointed
+			}
+			m, err := measure(spec, cfg)
+			if err != nil {
+				return nil, err
+			}
+			sw.Cells[InOrderName][spec.Name] = m
+			note(m)
+		}
+	}
+	return sw, nil
+}

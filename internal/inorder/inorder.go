@@ -1,0 +1,221 @@
+// Package inorder implements the in-order baseline core: a single-issue,
+// blocking-memory timing model in the role gem5's TimingSimpleCPU plays in
+// the paper. It executes architecturally via the reference emulator and
+// charges timing around each instruction:
+//
+//   - instruction fetch pays the I-cache round trip whenever fetch crosses
+//     into a new cache line;
+//   - every instruction pays its execution latency;
+//   - loads and stores block for the full D-cache round trip;
+//   - taken control transfers pay a small redirect penalty.
+//
+// There is no speculation of any kind, so the core is trivially immune to
+// every speculative execution attack — the paper's "secure but slow" bound.
+// Its MLP and ILP can never exceed 1.0 (§6.3).
+package inorder
+
+import (
+	"fmt"
+
+	"nda/internal/cache"
+	"nda/internal/emu"
+	"nda/internal/isa"
+	"nda/internal/mem"
+)
+
+// Params configures the in-order core's latencies.
+type Params struct {
+	ALULatency      int
+	MulLatency      int
+	DivLatency      int
+	MSRLatency      int
+	RedirectPenalty int // taken branches/jumps/faults
+}
+
+// DefaultParams matches the OoO core's functional-unit latencies.
+func DefaultParams() Params {
+	return Params{
+		ALULatency:      1,
+		MulLatency:      3,
+		DivLatency:      20,
+		MSRLatency:      4,
+		RedirectPenalty: 2,
+	}
+}
+
+// Stats mirrors the subset of the OoO statistics the evaluation compares.
+type Stats struct {
+	Cycles    uint64
+	Committed uint64
+
+	MLPSum    uint64
+	MLPCycles uint64
+	ILPSum    uint64
+	ILPCycles uint64
+}
+
+// CPI returns cycles per committed instruction.
+func (s *Stats) CPI() float64 {
+	if s.Committed == 0 {
+		return 0
+	}
+	return float64(s.Cycles) / float64(s.Committed)
+}
+
+// MLP is at most 1.0: blocking memory allows one outstanding miss.
+func (s *Stats) MLP() float64 {
+	if s.MLPCycles == 0 {
+		return 0
+	}
+	return float64(s.MLPSum) / float64(s.MLPCycles)
+}
+
+// ILP is at most 1.0: single issue.
+func (s *Stats) ILP() float64 {
+	if s.ILPCycles == 0 {
+		return 0
+	}
+	return float64(s.ILPSum) / float64(s.ILPCycles)
+}
+
+// Machine is one in-order core instance.
+type Machine struct {
+	emu  *emu.Machine
+	hier *cache.Hierarchy
+	p    Params
+
+	cycle         uint64
+	lastFetchLine uint64
+	stats         Stats
+}
+
+// New builds an in-order machine running prog on the given memory image.
+func New(prog *isa.Program, m *mem.Memory, p Params) *Machine {
+	return &Machine{
+		emu:           emu.NewWithMemory(prog, m),
+		hier:          cache.NewHierarchy(cache.DefaultHierarchyParams()),
+		p:             p,
+		lastFetchLine: ^uint64(0),
+	}
+}
+
+// NewFromProgram builds a machine with a fresh memory initialized from the
+// program's data segments.
+func NewFromProgram(prog *isa.Program, p Params) *Machine {
+	m := mem.New()
+	emu.Load(m, prog)
+	return New(prog, m, p)
+}
+
+// Emu exposes the underlying architectural machine.
+func (m *Machine) Emu() *emu.Machine { return m.emu }
+
+// Cycles returns the simulated cycle count.
+func (m *Machine) Cycles() uint64 { return m.cycle }
+
+// Retired returns committed instructions.
+func (m *Machine) Retired() uint64 { return m.emu.Retired }
+
+// Halted reports whether HALT executed.
+func (m *Machine) Halted() bool { return m.emu.Halted }
+
+// Stats returns counters accumulated since the last reset.
+func (m *Machine) Stats() *Stats { return &m.stats }
+
+// ResetStats zeroes the counters (end of warm-up).
+func (m *Machine) ResetStats() {
+	m.stats = Stats{}
+	m.hier.ResetStats()
+}
+
+func (m *Machine) execLatency(op isa.Op) int {
+	switch op {
+	case isa.OpMul:
+		return m.p.MulLatency
+	case isa.OpDiv, isa.OpRem:
+		return m.p.DivLatency
+	case isa.OpRdmsr, isa.OpWrmsr:
+		return m.p.MSRLatency
+	default:
+		return m.p.ALULatency
+	}
+}
+
+// Step executes one instruction and advances the clock by its full cost.
+func (m *Machine) Step() error {
+	if m.emu.Halted {
+		return nil
+	}
+	pc := m.emu.PC
+	var fetchLat int
+	lineMask := ^uint64(m.hier.LineBytes() - 1)
+	if line := pc & lineMask; line != m.lastFetchLine {
+		res := m.hier.Inst(pc)
+		m.lastFetchLine = line
+		fetchLat = res.Latency
+	}
+
+	if err := m.emu.Step(); err != nil {
+		return err
+	}
+	info := m.emu.Last
+	if info.Inst.Op == isa.OpRdcycle && info.Inst.Rd != isa.RegZero {
+		// The functional emulator has no clock; substitute the real cycle
+		// count so timing measurements (attack PoCs) are meaningful here.
+		m.emu.Regs[info.Inst.Rd] = m.cycle
+	}
+
+	lat := uint64(fetchLat + m.execLatency(info.Inst.Op))
+	if info.MemSize > 0 && !info.Faulted {
+		res := m.hier.Data(info.MemAddr)
+		lat += uint64(res.Latency)
+		if res.OffChip() {
+			// One blocking outstanding miss for its whole duration.
+			m.stats.MLPSum += uint64(res.Latency)
+			m.stats.MLPCycles += uint64(res.Latency)
+		}
+	}
+	if info.Inst.Op == isa.OpClflush {
+		m.hier.Flush(m.emu.Regs[info.Inst.Rs1] + uint64(info.Inst.Imm))
+	}
+	if info.Taken {
+		lat += uint64(m.p.RedirectPenalty)
+		m.lastFetchLine = ^uint64(0)
+	}
+	if lat == 0 {
+		lat = 1
+	}
+
+	m.cycle += lat
+	m.stats.Cycles += lat
+	m.stats.Committed++
+	// One instruction issues per issuing cycle: ILP is exactly 1.0, the
+	// in-order bound the paper cites.
+	m.stats.ILPSum++
+	m.stats.ILPCycles++
+	return nil
+}
+
+// Run executes until HALT or maxInsts instructions.
+func (m *Machine) Run(maxInsts uint64) error {
+	for !m.emu.Halted {
+		if m.emu.Retired >= maxInsts {
+			return fmt.Errorf("inorder: exceeded %d instructions without halting", maxInsts)
+		}
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunInsts executes at most n further instructions.
+func (m *Machine) RunInsts(n uint64) error {
+	target := m.emu.Retired + n
+	for !m.emu.Halted && m.emu.Retired < target {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,147 @@
+package isa
+
+// This file defines the architectural semantics of the computational
+// instructions as pure functions. Every core in the repository (the
+// functional emulator, the in-order timing core, and the OoO core) evaluates
+// instructions through these helpers, so their architectural behaviour
+// cannot diverge — only timing differs.
+
+// EvalALU computes the result of an ALU instruction (register-register,
+// register-immediate, or LUI) given its source operand values. For
+// immediate forms, pass the instruction's Imm as b.
+//
+// Division semantics follow RISC-V: division by zero yields all-ones
+// (quotient) or the dividend (remainder); the INT64_MIN/-1 overflow case
+// yields INT64_MIN (quotient) or 0 (remainder).
+func EvalALU(op Op, a, b uint64) uint64 {
+	switch op {
+	case OpAdd, OpAddi:
+		return a + b
+	case OpSub:
+		return a - b
+	case OpAnd, OpAndi:
+		return a & b
+	case OpOr, OpOri:
+		return a | b
+	case OpXor, OpXori:
+		return a ^ b
+	case OpSll, OpSlli:
+		return a << (b & 63)
+	case OpSrl, OpSrli:
+		return a >> (b & 63)
+	case OpSra, OpSrai:
+		return uint64(int64(a) >> (b & 63))
+	case OpSlt, OpSlti:
+		if int64(a) < int64(b) {
+			return 1
+		}
+		return 0
+	case OpSltu, OpSltiu:
+		if a < b {
+			return 1
+		}
+		return 0
+	case OpMul:
+		return a * b
+	case OpDiv:
+		x, y := int64(a), int64(b)
+		switch {
+		case y == 0:
+			return ^uint64(0)
+		case x == -1<<63 && y == -1:
+			return uint64(x)
+		default:
+			return uint64(x / y)
+		}
+	case OpRem:
+		x, y := int64(a), int64(b)
+		switch {
+		case y == 0:
+			return a
+		case x == -1<<63 && y == -1:
+			return 0
+		default:
+			return uint64(x % y)
+		}
+	case OpLui:
+		return b
+	}
+	panic("isa: EvalALU called with non-ALU op " + op.String())
+}
+
+// IsALU reports whether EvalALU accepts the op.
+func IsALU(op Op) bool {
+	switch op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu, OpLui:
+		return true
+	}
+	return false
+}
+
+// ALUOperandB returns the second ALU operand for inst given the value of
+// Rs2: immediate forms use Imm, register forms use rs2Val.
+func ALUOperandB(inst Inst, rs2Val uint64) uint64 {
+	switch inst.Op {
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu, OpLui:
+		return uint64(inst.Imm)
+	default:
+		return rs2Val
+	}
+}
+
+// EvalBranch evaluates a conditional branch's direction given its operands.
+func EvalBranch(op Op, a, b uint64) bool {
+	switch op {
+	case OpBeq:
+		return a == b
+	case OpBne:
+		return a != b
+	case OpBlt:
+		return int64(a) < int64(b)
+	case OpBge:
+		return int64(a) >= int64(b)
+	case OpBltu:
+		return a < b
+	case OpBgeu:
+		return a >= b
+	}
+	panic("isa: EvalBranch called with non-branch op " + op.String())
+}
+
+// PrivilegedMSR reports whether user-mode access to the MSR faults. The trap
+// and scratch MSRs are user-accessible; everything from MSRSecretKey up is
+// privileged (the LazyFP / Meltdown-v3a analogue).
+func PrivilegedMSR(msr uint16) bool { return msr >= MSRSecretKey }
+
+// FaultKind identifies why an instruction faulted.
+type FaultKind uint8
+
+const (
+	FaultNone         FaultKind = iota
+	FaultKernelLoad             // user-mode load from a kernel-only page
+	FaultKernelStore            // user-mode store to a kernel-only page
+	FaultPrivilegeMSR           // user-mode access to a privileged MSR
+	FaultBadFetch               // PC left the text segment on the committed path
+	FaultBadOpcode              // committed an OpInvalid
+)
+
+// String names the fault kind.
+func (f FaultKind) String() string {
+	switch f {
+	case FaultNone:
+		return "none"
+	case FaultKernelLoad:
+		return "kernel-load"
+	case FaultKernelStore:
+		return "kernel-store"
+	case FaultPrivilegeMSR:
+		return "privileged-msr"
+	case FaultBadFetch:
+		return "bad-fetch"
+	case FaultBadOpcode:
+		return "bad-opcode"
+	}
+	return "fault(?)"
+}

@@ -1,0 +1,323 @@
+// Package isa defines the instruction set architecture simulated by this
+// repository: a 64-bit RISC-style ISA with 32 general-purpose registers, a
+// small model-specific-register (MSR) file, byte-addressed memory, and
+// 4-byte instructions.
+//
+// The ISA is deliberately minimal but carries every instruction *class* that
+// the NDA propagation policies distinguish (Weisse et al., MICRO 2019):
+//
+//   - loads and load-like operations (LD/LW/LBU and RDMSR), which under NDA
+//     may be marked unsafe and restricted from waking dependents;
+//   - stores, whose unresolved addresses act as speculation guards;
+//   - conditional branches and indirect jumps (JAL/JALR), the steering
+//     points of control-steering attacks;
+//   - CLFLUSH and RDCYCLE, which attack proofs-of-concept use to prime and
+//     probe timing covert channels;
+//   - FENCE, a full serialization barrier used by software mitigations.
+//
+// Instructions are represented as structs rather than encoded words; the
+// simulator is a micro-architecture model, not a binary-compatible CPU.
+package isa
+
+import "fmt"
+
+// Reg names a general-purpose register x0..x31. x0 is hardwired to zero:
+// reads return 0 and writes are discarded, as in RISC-V.
+type Reg uint8
+
+// NumGPR is the number of architectural general-purpose registers.
+const NumGPR = 32
+
+// Conventional register roles used by the assembler and code generators.
+const (
+	RegZero Reg = 0 // hardwired zero
+	RegRA   Reg = 1 // return address (link register for calls)
+	RegSP   Reg = 2 // stack pointer
+	RegGP   Reg = 3 // global pointer
+	RegTP   Reg = 4 // thread pointer
+	RegT0   Reg = 5 // temporaries t0..t2 = x5..x7
+	RegT1   Reg = 6
+	RegT2   Reg = 7
+	RegS0   Reg = 8 // saved s0..s1 = x8..x9
+	RegS1   Reg = 9
+	RegA0   Reg = 10 // arguments/results a0..a7 = x10..x17
+	RegA1   Reg = 11
+	RegA2   Reg = 12
+	RegA3   Reg = 13
+	RegA4   Reg = 14
+	RegA5   Reg = 15
+	RegA6   Reg = 16
+	RegA7   Reg = 17
+)
+
+// Valid reports whether r names an architectural register.
+func (r Reg) Valid() bool { return r < NumGPR }
+
+// String returns the canonical xN name of the register.
+func (r Reg) String() string { return fmt.Sprintf("x%d", uint8(r)) }
+
+// MSR numbers. The MSR file stands in for the "special registers" of the
+// paper's threat model (§4.3): AVX state abused by LazyFP and the
+// model-specific registers abused by Meltdown v3a. RDMSR/WRMSR address this
+// file by immediate.
+const (
+	MSRTrapHandler uint16 = 0x00 // PC of the fault handler; 0 = fault halts the machine
+	MSRTrapCause   uint16 = 0x01 // cause of the last fault (FaultKind)
+	MSRTrapAddr    uint16 = 0x02 // faulting address or PC of the last fault
+	MSRScratch     uint16 = 0x03 // scratch register for software use
+	MSRSecretKey   uint16 = 0x10 // a privileged secret (the LazyFP/v3a analogue)
+	NumMSR                = 0x20
+)
+
+// Op enumerates the instruction opcodes.
+type Op uint8
+
+// Opcode space. Register-register ALU ops read Rs1 and Rs2 and write Rd.
+// Immediate ALU ops read Rs1 and Imm. Loads read memory at Rs1+Imm into Rd.
+// Stores write Rs2 to memory at Rs1+Imm. Conditional branches compare Rs1
+// with Rs2 and jump to the absolute address Imm (the assembler resolves
+// labels to absolute byte addresses).
+const (
+	OpInvalid Op = iota // unknown opcode; stalls dispatch if fetched on a wrong path
+
+	// ALU register-register.
+	OpAdd
+	OpSub
+	OpAnd
+	OpOr
+	OpXor
+	OpSll
+	OpSrl
+	OpSra
+	OpSlt  // Rd = (int64(Rs1) < int64(Rs2)) ? 1 : 0
+	OpSltu // Rd = (Rs1 < Rs2) ? 1 : 0
+	OpMul
+	OpDiv // signed; division by zero yields -1 (all ones), as in RISC-V
+	OpRem // signed; remainder by zero yields Rs1
+
+	// ALU register-immediate.
+	OpAddi
+	OpAndi
+	OpOri
+	OpXori
+	OpSlli
+	OpSrli
+	OpSrai
+	OpSlti
+	OpSltiu
+	OpLui // Rd = Imm (full 64-bit immediate load; the assembler's "li")
+
+	// Memory.
+	OpLd  // 64-bit load
+	OpLw  // 32-bit zero-extending load
+	OpLbu // 8-bit zero-extending load
+	OpSd  // 64-bit store
+	OpSw  // 32-bit store
+	OpSb  // 8-bit store
+
+	// Control flow. Branch targets are absolute addresses in Imm.
+	OpBeq
+	OpBne
+	OpBlt
+	OpBge
+	OpBltu
+	OpBgeu
+	OpJal  // Rd = PC+4; PC = Imm. Rd=ra is a call; Rd=x0 is a plain jump.
+	OpJalr // Rd = PC+4; PC = (Rs1+Imm) &^ 1. Rs1=ra,Rd=x0 is a return.
+
+	// System.
+	OpRdcycle // Rd = current cycle count (rdtscp analogue; quasi-serializing)
+	OpRdmsr   // Rd = MSR[Imm]; load-like for NDA purposes; privileged MSRs fault in user mode
+	OpWrmsr   // MSR[Imm] = Rs1
+	OpClflush // flush the cache line containing Rs1+Imm from the whole hierarchy
+	OpFence   // full barrier: issues only when all older instructions completed
+	OpSpecOff // disable speculative fetch past this point until OpSpecOn retires (§8, Listing 4)
+	OpSpecOn  // re-enable speculation
+	OpNop
+	OpHalt // stop the machine
+
+	numOps
+)
+
+var opNames = [numOps]string{
+	OpInvalid: "invalid",
+	OpAdd:     "add", OpSub: "sub", OpAnd: "and", OpOr: "or", OpXor: "xor",
+	OpSll: "sll", OpSrl: "srl", OpSra: "sra", OpSlt: "slt", OpSltu: "sltu",
+	OpMul: "mul", OpDiv: "div", OpRem: "rem",
+	OpAddi: "addi", OpAndi: "andi", OpOri: "ori", OpXori: "xori",
+	OpSlli: "slli", OpSrli: "srli", OpSrai: "srai", OpSlti: "slti", OpSltiu: "sltiu",
+	OpLui: "li",
+	OpLd:  "ld", OpLw: "lw", OpLbu: "lbu", OpSd: "sd", OpSw: "sw", OpSb: "sb",
+	OpBeq: "beq", OpBne: "bne", OpBlt: "blt", OpBge: "bge", OpBltu: "bltu", OpBgeu: "bgeu",
+	OpJal: "jal", OpJalr: "jalr",
+	OpRdcycle: "rdcycle", OpRdmsr: "rdmsr", OpWrmsr: "wrmsr",
+	OpClflush: "clflush", OpFence: "fence",
+	OpSpecOff: "specoff", OpSpecOn: "specon",
+	OpNop: "nop", OpHalt: "halt",
+}
+
+// String returns the assembler mnemonic of the opcode.
+func (o Op) String() string {
+	if int(o) < len(opNames) && opNames[o] != "" {
+		return opNames[o]
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// Valid reports whether o is a defined opcode other than OpInvalid.
+func (o Op) Valid() bool { return o > OpInvalid && o < numOps }
+
+// InstBytes is the architectural size of one instruction.
+const InstBytes = 4
+
+// Inst is one decoded instruction.
+type Inst struct {
+	Op  Op
+	Rd  Reg
+	Rs1 Reg
+	Rs2 Reg
+	Imm int64
+}
+
+// Class partitions opcodes into the categories the NDA policies distinguish.
+type Class uint8
+
+const (
+	ClassOther  Class = iota // ALU, fences, system ops with no special role
+	ClassLoad                // memory loads and load-like ops (RDMSR): §5.2/§5.3
+	ClassStore               // memory stores: unresolved addresses guard younger loads
+	ClassBranch              // conditional branches and indirect jumps: steering points
+)
+
+// ClassOf returns the NDA class of the instruction. Direct unconditional
+// jumps (JAL) are ClassOther: their target is architecturally determined at
+// decode, so they are never unresolved and cannot be mis-steered. JALR is a
+// branch (indirect target predicted via BTB/RAS). RDMSR is load-like per
+// §4.3 of the paper.
+func ClassOf(i Inst) Class {
+	switch i.Op {
+	case OpLd, OpLw, OpLbu, OpRdmsr:
+		return ClassLoad
+	case OpSd, OpSw, OpSb:
+		return ClassStore
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu, OpJalr:
+		return ClassBranch
+	default:
+		return ClassOther
+	}
+}
+
+// IsLoad reports whether the instruction reads data memory.
+func (i Inst) IsLoad() bool { return i.Op == OpLd || i.Op == OpLw || i.Op == OpLbu }
+
+// IsStore reports whether the instruction writes data memory.
+func (i Inst) IsStore() bool { return i.Op == OpSd || i.Op == OpSw || i.Op == OpSb }
+
+// MemBytes returns the access width of a load or store, or 0.
+func (i Inst) MemBytes() int {
+	switch i.Op {
+	case OpLd, OpSd:
+		return 8
+	case OpLw, OpSw:
+		return 4
+	case OpLbu, OpSb:
+		return 1
+	}
+	return 0
+}
+
+// IsCondBranch reports whether the instruction is a conditional branch.
+func (i Inst) IsCondBranch() bool {
+	switch i.Op {
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return true
+	}
+	return false
+}
+
+// IsIndirect reports whether the instruction's target comes from a register.
+func (i Inst) IsIndirect() bool { return i.Op == OpJalr }
+
+// IsCall reports whether the instruction is a call by convention (writes ra).
+func (i Inst) IsCall() bool { return (i.Op == OpJal || i.Op == OpJalr) && i.Rd == RegRA }
+
+// IsReturn reports whether the instruction is a return by convention
+// (jalr x0, 0(ra)).
+func (i Inst) IsReturn() bool { return i.Op == OpJalr && i.Rd == RegZero && i.Rs1 == RegRA }
+
+// IsControl reports whether the instruction can redirect fetch.
+func (i Inst) IsControl() bool { return i.IsCondBranch() || i.Op == OpJal || i.Op == OpJalr }
+
+// WritesReg reports whether the instruction produces a GPR result, and which.
+// Writes to x0 are reported as no-writes.
+func (i Inst) WritesReg() (Reg, bool) {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem,
+		OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu, OpLui,
+		OpLd, OpLw, OpLbu, OpJal, OpJalr, OpRdcycle, OpRdmsr:
+		if i.Rd != RegZero {
+			return i.Rd, true
+		}
+	}
+	return 0, false
+}
+
+// SrcRegs returns the source registers the instruction reads. Reads of x0
+// are included (they are always ready and read as zero).
+func (i Inst) SrcRegs() (srcs [2]Reg, n int) {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu,
+		OpMul, OpDiv, OpRem,
+		OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		srcs[0], srcs[1] = i.Rs1, i.Rs2
+		return srcs, 2
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu,
+		OpLd, OpLw, OpLbu, OpJalr, OpWrmsr, OpClflush:
+		srcs[0] = i.Rs1
+		return srcs, 1
+	case OpSd, OpSw, OpSb:
+		srcs[0], srcs[1] = i.Rs1, i.Rs2 // address base, data
+		return srcs, 2
+	}
+	return srcs, 0
+}
+
+// HasSideEffects reports whether the op touches state beyond its destination
+// register (memory, MSRs, caches, or control flow).
+func (i Inst) HasSideEffects() bool {
+	return i.IsStore() || i.IsControl() || i.Op == OpWrmsr || i.Op == OpClflush ||
+		i.Op == OpHalt || i.Op == OpSpecOff || i.Op == OpSpecOn
+}
+
+// String renders the instruction in assembler syntax.
+func (i Inst) String() string {
+	switch i.Op {
+	case OpAdd, OpSub, OpAnd, OpOr, OpXor, OpSll, OpSrl, OpSra, OpSlt, OpSltu, OpMul, OpDiv, OpRem:
+		return fmt.Sprintf("%s %s, %s, %s", i.Op, i.Rd, i.Rs1, i.Rs2)
+	case OpAddi, OpAndi, OpOri, OpXori, OpSlli, OpSrli, OpSrai, OpSlti, OpSltiu:
+		return fmt.Sprintf("%s %s, %s, %d", i.Op, i.Rd, i.Rs1, i.Imm)
+	case OpLui:
+		return fmt.Sprintf("li %s, %d", i.Rd, i.Imm)
+	case OpLd, OpLw, OpLbu:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rd, i.Imm, i.Rs1)
+	case OpSd, OpSw, OpSb:
+		return fmt.Sprintf("%s %s, %d(%s)", i.Op, i.Rs2, i.Imm, i.Rs1)
+	case OpBeq, OpBne, OpBlt, OpBge, OpBltu, OpBgeu:
+		return fmt.Sprintf("%s %s, %s, 0x%x", i.Op, i.Rs1, i.Rs2, uint64(i.Imm))
+	case OpJal:
+		return fmt.Sprintf("jal %s, 0x%x", i.Rd, uint64(i.Imm))
+	case OpJalr:
+		return fmt.Sprintf("jalr %s, %d(%s)", i.Rd, i.Imm, i.Rs1)
+	case OpRdcycle:
+		return fmt.Sprintf("rdcycle %s", i.Rd)
+	case OpRdmsr:
+		return fmt.Sprintf("rdmsr %s, 0x%x", i.Rd, uint64(i.Imm))
+	case OpWrmsr:
+		return fmt.Sprintf("wrmsr 0x%x, %s", uint64(i.Imm), i.Rs1)
+	case OpClflush:
+		return fmt.Sprintf("clflush %d(%s)", i.Imm, i.Rs1)
+	default:
+		return i.Op.String()
+	}
+}

@@ -1,0 +1,60 @@
+package isa
+
+import "fmt"
+
+// DefaultTextBase is where program text is placed unless overridden.
+const DefaultTextBase uint64 = 0x1000
+
+// Segment is a chunk of initialized data memory.
+type Segment struct {
+	Addr   uint64
+	Bytes  []byte
+	Kernel bool // if set, the pages covering this segment are kernel-only
+}
+
+// Program is an assembled or generated program: a text segment of decoded
+// instructions plus initialized data segments and a symbol table.
+type Program struct {
+	TextBase uint64
+	Insts    []Inst
+	Entry    uint64
+	Data     []Segment
+	Symbols  map[string]uint64
+}
+
+// At returns the instruction at byte address pc, if pc falls inside the text
+// segment and is instruction-aligned. Fetches outside the text segment (as
+// can happen on speculative wrong paths) return ok=false.
+func (p *Program) At(pc uint64) (Inst, bool) {
+	if pc < p.TextBase || (pc-p.TextBase)%InstBytes != 0 {
+		return Inst{}, false
+	}
+	idx := (pc - p.TextBase) / InstBytes
+	if idx >= uint64(len(p.Insts)) {
+		return Inst{}, false
+	}
+	return p.Insts[idx], true
+}
+
+// End returns the first byte address past the text segment.
+func (p *Program) End() uint64 {
+	return p.TextBase + uint64(len(p.Insts))*InstBytes
+}
+
+// Symbol returns the address of a label defined by the program.
+func (p *Program) Symbol(name string) (uint64, error) {
+	if a, ok := p.Symbols[name]; ok {
+		return a, nil
+	}
+	return 0, fmt.Errorf("isa: undefined symbol %q", name)
+}
+
+// MustSymbol is Symbol but panics on unknown names; for use in tests and
+// generators where the label is statically known to exist.
+func (p *Program) MustSymbol(name string) uint64 {
+	a, err := p.Symbol(name)
+	if err != nil {
+		panic(err)
+	}
+	return a
+}

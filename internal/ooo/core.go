@@ -1,0 +1,278 @@
+package ooo
+
+import (
+	"fmt"
+
+	"nda/internal/bpred"
+	"nda/internal/cache"
+	"nda/internal/core"
+	"nda/internal/emu"
+	"nda/internal/isa"
+	"nda/internal/mem"
+)
+
+// Core is one out-of-order processor instance executing one program.
+type Core struct {
+	p      Params
+	policy core.Policy
+
+	prog *isa.Program
+	mem  *mem.Memory
+	hier *cache.Hierarchy
+	gsh  *bpred.Gshare
+	btb  *bpred.BTB
+	ras  *bpred.RAS
+
+	cycle   uint64
+	nextSeq uint64
+
+	// Physical register file.
+	regVal   []uint64
+	regReady []bool
+	freeList []int
+	rat      [isa.NumGPR]int
+
+	// Reorder buffer: fixed ring.
+	rob     []Entry
+	robHead int
+	robLen  int
+
+	// Schedulers, in age order.
+	iq []*Entry
+	lq []*Entry
+	sq []*Entry
+
+	// Front end.
+	fetchQ      []fetchSlot
+	fetchPC     uint64
+	fetchStall  uint64 // fetch idle until this cycle
+	fetchWait   bool   // fetch blocked on an unresolved control instruction
+	fetchWaitSq uint64 // seq of the instruction fetch waits on
+	fetchDead   bool   // fetch ran off the text segment or past a halt; waits for redirect
+	noSpec      bool   // SpecOff window active (committed)
+
+	// lastFetchLine caches the line address most recently charged to L1I,
+	// so sequential fetch within a line pays the I-cache once.
+	lastFetchLine uint64
+	// unresolvedBranches counts in-flight ClassBranch entries that have not
+	// resolved; used to initialize UnderGuard at dispatch and to decide
+	// InvisiSpec speculative-load visibility.
+	unresolvedBranches int
+
+	msr      [isa.NumMSR]uint64
+	userMode bool
+	halted   bool
+
+	// TraceCommit, when non-nil, is called for every committed instruction
+	// (including faulting ones) in program order. Used by differential
+	// tests and the ndasim -trace flag.
+	TraceCommit func(pc uint64, inst isa.Inst)
+
+	// TraceRetire, when non-nil, receives a full per-instruction timing
+	// record at retirement; package trace renders these into pipeline
+	// diagrams.
+	TraceRetire func(ev TraceEvent)
+
+	retired      uint64
+	lastCommit   uint64 // cycle of the last commit (deadlock guard)
+	offChipLoads int    // currently outstanding DRAM loads
+
+	// commitValidate models InvisiSpec validation: commit is blocked until
+	// this cycle while an exposed load validates.
+	commitValidate uint64
+
+	stats Stats
+}
+
+// New builds a core executing prog on the given memory image (which must
+// already contain the program's data; see emu.Load) under the given policy.
+func New(prog *isa.Program, m *mem.Memory, pol core.Policy, p Params) *Core {
+	c := &Core{
+		p:      p,
+		policy: pol,
+		prog:   prog,
+		mem:    m,
+		hier:   cache.NewHierarchy(cache.DefaultHierarchyParams()),
+		gsh:    bpred.NewGshare(p.GshareBits),
+		btb:    bpred.NewBTB(p.BTBEntries, p.BTBWays),
+		ras:    bpred.NewRAS(p.RASEntries),
+
+		regVal:        make([]uint64, p.PhysRegs),
+		regReady:      make([]bool, p.PhysRegs),
+		rob:           make([]Entry, p.ROBSize),
+		fetchPC:       prog.Entry,
+		lastFetchLine: ^uint64(0),
+		userMode:      true,
+		nextSeq:       1,
+	}
+	for i := range c.rob {
+		c.rob[i].reset()
+	}
+	// Map arch registers to the first NumGPR physical registers; the rest
+	// form the free list.
+	for i := 0; i < isa.NumGPR; i++ {
+		c.rat[i] = i
+		c.regReady[i] = true
+	}
+	for i := isa.NumGPR; i < p.PhysRegs; i++ {
+		c.freeList = append(c.freeList, i)
+	}
+	return c
+}
+
+// NewFromProgram builds a core with a fresh memory initialized from the
+// program's data segments.
+func NewFromProgram(prog *isa.Program, pol core.Policy, p Params) *Core {
+	m := mem.New()
+	emu.Load(m, prog)
+	return New(prog, m, pol, p)
+}
+
+// robAt returns the i-th oldest in-flight entry (0 = head).
+func (c *Core) robAt(i int) *Entry {
+	return &c.rob[(c.robHead+i)%len(c.rob)]
+}
+
+// robAlloc appends a new entry at the tail and returns it.
+func (c *Core) robAlloc() *Entry {
+	e := c.robAt(c.robLen)
+	c.robLen++
+	return e
+}
+
+// Cycles returns the number of cycles simulated so far.
+func (c *Core) Cycles() uint64 { return c.cycle }
+
+// Retired returns the number of committed instructions.
+func (c *Core) Retired() uint64 { return c.retired }
+
+// Halted reports whether a HALT has committed.
+func (c *Core) Halted() bool { return c.halted }
+
+// Stats returns the statistics accumulated since the last reset.
+func (c *Core) Stats() *Stats { return &c.stats }
+
+// Hierarchy exposes the cache hierarchy (attack PoCs and tests inspect it).
+func (c *Core) Hierarchy() *cache.Hierarchy { return c.hier }
+
+// BTB exposes the branch target buffer.
+func (c *Core) BTB() *bpred.BTB { return c.btb }
+
+// Policy returns the propagation policy the core runs under.
+func (c *Core) Policy() core.Policy { return c.policy }
+
+// ResetStats zeroes the statistics counters (end of a warm-up window)
+// without disturbing micro-architectural state.
+func (c *Core) ResetStats() {
+	c.stats = Stats{}
+	c.hier.ResetStats()
+}
+
+// Reg returns the committed architectural value of r.
+//
+// Between commits the rename table also covers in-flight instructions, so
+// Reg is intended to be read when the pipeline is drained (halted), as the
+// differential tests do.
+func (c *Core) Reg(r isa.Reg) uint64 {
+	if r == isa.RegZero {
+		return 0
+	}
+	return c.regVal[c.rat[r]]
+}
+
+// Regs returns the architectural register file (pipeline should be drained).
+func (c *Core) Regs() [isa.NumGPR]uint64 {
+	var out [isa.NumGPR]uint64
+	for i := range out {
+		out[i] = c.Reg(isa.Reg(i))
+	}
+	return out
+}
+
+// MSR returns a model-specific register's committed value.
+func (c *Core) MSR(n uint16) uint64 { return c.msr[n] }
+
+// SetMSR plants a value in a model-specific register before the program
+// runs; attack PoCs use it to install the privileged secret (the LazyFP /
+// Meltdown-v3a scenario, where another context left a secret behind).
+func (c *Core) SetMSR(n uint16, v uint64) { c.msr[n] = v }
+
+// Memory returns the memory image the core operates on.
+func (c *Core) Memory() *mem.Memory { return c.mem }
+
+// Run simulates until HALT commits or maxCycles elapse, whichever is first.
+// Exceeding maxCycles or deadlocking returns an error.
+func (c *Core) Run(maxCycles uint64) error {
+	for !c.halted {
+		if c.cycle >= maxCycles {
+			return fmt.Errorf("ooo: exceeded %d cycles without halting (pc=%#x, rob=%d)", maxCycles, c.fetchPC, c.robLen)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunInsts simulates until at least n more instructions commit, HALT
+// commits, or maxCycles elapse. Used by the sampling harness for fixed
+// instruction windows.
+func (c *Core) RunInsts(n, maxCycles uint64) error {
+	target := c.retired + n
+	for !c.halted && c.retired < target {
+		if c.cycle >= maxCycles {
+			return fmt.Errorf("ooo: exceeded %d cycles with %d/%d instructions committed", maxCycles, c.retired, target)
+		}
+		if err := c.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// DebugState renders a one-line pipeline snapshot for diagnostics.
+func (c *Core) DebugState() string {
+	head := "rob-empty"
+	if c.robLen > 0 {
+		e := c.robAt(0)
+		head = fmt.Sprintf("head{seq=%d pc=%#x %v issued=%v comp=%v}", e.Seq, e.PC, e.Inst, e.Issued, e.Node.Completed)
+	}
+	fq := "fq-empty"
+	if len(c.fetchQ) > 0 {
+		s := c.fetchQ[0]
+		fq = fmt.Sprintf("fq[%d]{pc=%#x %v valid=%v ready@%d}", len(c.fetchQ), s.pc, s.inst, s.valid, s.readyAt)
+	}
+	return fmt.Sprintf("cyc=%d rob=%d iq=%d lq=%d sq=%d fetchPC=%#x wait=%v dead=%v stall>%d validate>%d %s %s",
+		c.cycle, c.robLen, len(c.iq), len(c.lq), len(c.sq), c.fetchPC, c.fetchWait, c.fetchDead, c.fetchStall, c.commitValidate, head, fq)
+}
+
+// DebugROB lists the in-flight entries (diagnostics).
+func (c *Core) DebugROB() string {
+	s := ""
+	for i := 0; i < c.robLen; i++ {
+		e := c.robAt(i)
+		flag := " "
+		if e.Node.Completed {
+			flag = "C"
+		} else if e.Issued {
+			flag = "I"
+		}
+		s += fmt.Sprintf("  [%3d] seq=%d pc=%#x %s %v\n", i, e.Seq, e.PC, flag, e.Inst)
+	}
+	return s
+}
+
+// NewFromState builds a core resuming from an architectural snapshot:
+// registers, MSRs, and the program counter are installed and execution
+// starts at pc on the given memory image. Retired counts from zero, so
+// instruction-budget runs measure relative progress. Used by the
+// checkpoint-based SMARTS sampling path.
+func NewFromState(prog *isa.Program, m *mem.Memory, regs [isa.NumGPR]uint64, msrs [isa.NumMSR]uint64, pc uint64, pol core.Policy, p Params) *Core {
+	c := New(prog, m, pol, p)
+	for i := 1; i < isa.NumGPR; i++ {
+		c.regVal[c.rat[i]] = regs[i]
+	}
+	c.msr = msrs
+	c.fetchPC = pc
+	return c
+}

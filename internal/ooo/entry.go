@@ -1,0 +1,128 @@
+package ooo
+
+import (
+	"nda/internal/bpred"
+	"nda/internal/core"
+	"nda/internal/isa"
+)
+
+// noPReg marks an absent physical register operand.
+const noPReg = -1
+
+// Entry is one reorder-buffer entry: a dispatched micro-op and all of its
+// in-flight state. Entries live in a fixed ring; pointers to them are held
+// by the issue queue and the load/store queues only while the entry is in
+// flight.
+type Entry struct {
+	Seq  uint64 // global age; assigned at fetch, monotonically increasing
+	PC   uint64
+	Inst isa.Inst
+
+	// Renaming.
+	DestP int // destination physical register, or noPReg
+	PrevP int // previous mapping of the destination arch register
+	Src1P int // physical sources, or noPReg
+	Src2P int
+
+	// Scheduling state.
+	InIQ       bool
+	Issued     bool
+	RetryAt    uint64 // earliest re-issue cycle after a forwarding replay
+	CompleteAt uint64 // cycle execution finishes; valid when Issued
+	Result     uint64
+
+	// Branch state. Predictions and checkpoints are recorded at fetch.
+	Predicted  bool // fetch made a target/direction prediction
+	PredTaken  bool
+	PredTarget uint64
+	GshCkpt    uint64 // gshare history before this branch's own update
+	HasGshCkpt bool
+	RASBefore  bpred.RASSnapshot // RAS state before this instruction's own push/pop
+	HasRASCkpt bool
+	Taken      bool
+	Target     uint64
+
+	// Memory state.
+	Addr      uint64
+	AddrKnown bool
+	// ForwardSeq is the store this load forwarded from (0 = none).
+	ForwardSeq uint64
+	// bypassed holds older stores whose addresses were unknown when this
+	// load executed; used for Bypass Restriction and violation tracking.
+	bypassed []*Entry
+	OffChip  bool // load serviced by DRAM (counts toward MLP while in flight)
+	Inflight bool // load access outstanding (between issue and completion)
+
+	// InvisiSpec state.
+	Invisible  bool // fill hidden at access time
+	WasPresent bool // line was cached when the hidden access was made
+	Exposed    bool // fill has been installed at the safe point
+
+	Fault isa.FaultKind
+
+	// NDA safety state (the paper's unsafe/exec/bcast bits).
+	Node core.Node
+	// SafeSince is the cycle the entry first became broadcast-eligible
+	// after completion, for the ExtraBroadcastDelay sensitivity knob.
+	SafeSince    uint64
+	HasSafeSince bool
+	// BcastCycle is the cycle the tag broadcast happened.
+	BcastCycle uint64
+
+	// Timing statistics.
+	FetchedAt    uint64
+	DispatchedAt uint64
+	IssuedAt     uint64
+}
+
+// TraceEvent is the per-instruction life-cycle record emitted to
+// Core.TraceRetire: the cycle of each pipeline milestone (paper Fig. 2's
+// steps, plus fetch and retire).
+type TraceEvent struct {
+	Seq       uint64
+	PC        uint64
+	Inst      isa.Inst
+	Fetch     uint64
+	Dispatch  uint64
+	Issue     uint64
+	Complete  uint64
+	Broadcast uint64 // 0 if the instruction produced no register
+	Retire    uint64
+}
+
+// reset clears an entry for reuse, preserving its backing storage.
+func (e *Entry) reset() {
+	bypassed := e.bypassed[:0]
+	*e = Entry{bypassed: bypassed, DestP: noPReg, PrevP: noPReg, Src1P: noPReg, Src2P: noPReg}
+}
+
+// isMem reports whether the entry is a data-memory operation.
+func (e *Entry) isMem() bool { return e.Inst.IsLoad() || e.Inst.IsStore() }
+
+// overlaps reports whether two byte ranges [a,a+as) and [b,b+bs) intersect.
+func overlaps(a uint64, as int, b uint64, bs int) bool {
+	return a < b+uint64(bs) && b < a+uint64(as)
+}
+
+// covers reports whether store range [sa,sa+ss) fully contains load range
+// [la,la+ls) — the store-to-load forwarding condition.
+func covers(sa uint64, ss int, la uint64, ls int) bool {
+	return sa <= la && la+uint64(ls) <= sa+uint64(ss)
+}
+
+// fetchSlot is one decoded instruction travelling from fetch to dispatch.
+type fetchSlot struct {
+	seq     uint64
+	pc      uint64
+	inst    isa.Inst
+	valid   bool // false: fetched bytes did not decode (wrong-path into data)
+	readyAt uint64
+
+	predicted  bool
+	predTaken  bool
+	predTarget uint64
+	gshCkpt    uint64
+	hasGshCkpt bool
+	rasBefore  bpred.RASSnapshot
+	hasRASCkpt bool
+}

@@ -1,0 +1,829 @@
+package ooo
+
+import (
+	"fmt"
+
+	"nda/internal/cache"
+	"nda/internal/core"
+	"nda/internal/isa"
+)
+
+// Step advances the simulation by one cycle. Stages run back-to-front so
+// that results flow between stages with realistic single-cycle visibility:
+// completions and broadcasts happen before commit, commit before issue, and
+// newly fetched instructions cannot dispatch until FrontEndDepth cycles
+// after fetch.
+func (c *Core) Step() error {
+	c.cycle++
+
+	completed := c.completeExecution()
+	c.recomputeSafety()
+	c.broadcastStage(completed)
+	if err := c.commitStage(); err != nil {
+		return err
+	}
+	if c.halted {
+		return nil
+	}
+	c.issueStage()
+	c.dispatchStage()
+	c.fetchStage()
+
+	if c.cycle-c.lastCommit > c.p.DeadlockCycles {
+		head := "empty"
+		if c.robLen > 0 {
+			e := c.robAt(0)
+			head = fmt.Sprintf("%v @%#x issued=%v completed=%v bcast=%v fault=%v",
+				e.Inst, e.PC, e.Issued, e.Node.Completed, e.Node.Broadcast, e.Fault)
+		}
+		return fmt.Errorf("ooo: no commit for %d cycles at cycle %d (head: %s)", c.p.DeadlockCycles, c.cycle, head)
+	}
+	return nil
+}
+
+func (c *Core) readP(p int) uint64 {
+	if p == noPReg {
+		return 0
+	}
+	return c.regVal[p]
+}
+
+func (c *Core) pReady(p int) bool {
+	if p == noPReg {
+		return true
+	}
+	return c.regReady[p]
+}
+
+// ---- completion ----
+
+// completeExecution finishes every issued entry whose execution latency
+// elapsed this cycle: results are written to the physical register file
+// (without marking it ready — that is the broadcast's job), branches
+// resolve (possibly squashing), and store addresses resolve (possibly
+// detecting memory-order violations). Returns the completed entries in age
+// order for broadcast arbitration.
+func (c *Core) completeExecution() []*Entry {
+	var done []*Entry
+	for i := 0; i < c.robLen; i++ {
+		e := c.robAt(i)
+		if !e.Issued || e.Node.Completed || e.CompleteAt > c.cycle {
+			continue
+		}
+		e.Node.Completed = true
+		if e.DestP != noPReg {
+			c.regVal[e.DestP] = e.Result
+		} else {
+			// Nothing to propagate: destination-less micro-ops are
+			// trivially "broadcast".
+			e.Node.Broadcast = true
+		}
+		if e.Inflight {
+			e.Inflight = false
+			if e.OffChip {
+				c.offChipLoads--
+			}
+		}
+
+		switch {
+		case e.Inst.IsCondBranch() || e.Inst.Op == isa.OpJalr:
+			c.resolveBranch(e)
+			// A squash inside resolveBranch may have removed younger
+			// completed-this-cycle entries; the robLen bound shrinks and
+			// iteration remains valid because only younger entries die.
+		case e.Inst.Op == isa.OpJal:
+			// Direct jump: fetch already followed it; nothing to resolve.
+			e.Node.GuardResolved = true
+		case e.Inst.IsStore():
+			c.resolveStore(e)
+		}
+
+		done = append(done, e)
+	}
+	return done
+}
+
+// resolveBranch trains the predictors with the branch's actual outcome,
+// resumes a waiting front end, and squashes on misprediction. BTB updates
+// happen here — at execution, on speculative and wrong paths alike — and
+// are never rolled back: the paper's §3 covert channel.
+func (c *Core) resolveBranch(e *Entry) {
+	e.Node.GuardResolved = true
+	if e.Node.Class == isa.ClassBranch {
+		if c.unresolvedBranches > 0 {
+			c.unresolvedBranches--
+		}
+	}
+	c.stats.BranchesResolved++
+
+	if e.Inst.IsCondBranch() && e.HasGshCkpt {
+		c.gsh.Update(e.PC, e.Taken, e.GshCkpt)
+	}
+	if e.Inst.Op == isa.OpJalr && c.p.SpeculativeBTBUpdate {
+		c.btb.Update(e.PC, e.Target)
+	}
+
+	if !e.Predicted {
+		// The front end stalled waiting for this branch (BTB miss,
+		// RAS underflow, or SpecOff mode): resume, no squash.
+		if c.fetchWait && c.fetchWaitSq == e.Seq {
+			c.fetchWait = false
+			c.fetchDead = false
+			c.fetchPC = e.Target
+			if c.fetchStall < c.cycle+1 {
+				c.fetchStall = c.cycle + 1
+			}
+		}
+		return
+	}
+
+	mispredicted := e.PredTaken != e.Taken || (e.Taken && e.PredTarget != e.Target)
+	if !mispredicted {
+		return
+	}
+	c.stats.Mispredicts++
+	next := e.Target
+	if !e.Taken {
+		next = e.PC + isa.InstBytes
+	}
+	c.squashFrom(e.Seq+1, next)
+	if e.Inst.IsCondBranch() && e.HasGshCkpt {
+		// The squash rewound history to just after this branch's
+		// (wrong) predicted bit; replace it with the actual outcome.
+		c.gsh.Restore(e.GshCkpt, e.Taken)
+	}
+}
+
+// resolveStore publishes a store's now-known address: younger loads that
+// already executed with stale data are squashed (memory-order violation),
+// and surviving loads drop their bypass guards on this store.
+func (c *Core) resolveStore(e *Entry) {
+	e.AddrKnown = true
+	e.Node.GuardResolved = true
+
+	// Violation scan: the eldest younger load that read overlapping data
+	// from anywhere older than this store observed a stale value.
+	var victim *Entry
+	size := e.Inst.MemBytes()
+	for _, ld := range c.lq {
+		if ld.Seq <= e.Seq || !ld.Issued || !ld.AddrKnown {
+			continue
+		}
+		if overlaps(e.Addr, size, ld.Addr, ld.Inst.MemBytes()) && ld.ForwardSeq < e.Seq {
+			if victim == nil || ld.Seq < victim.Seq {
+				victim = ld
+			}
+		}
+	}
+	if victim != nil {
+		c.stats.OrderViolations++
+		c.squashFrom(victim.Seq, victim.PC)
+	}
+	// Clear the bypass guards this store held on surviving loads. This must
+	// happen even on the violation path: the store resolves exactly once,
+	// and loads older than the squash point live on.
+	for _, ld := range c.lq {
+		for i, s := range ld.bypassed {
+			if s == e {
+				ld.bypassed = append(ld.bypassed[:i], ld.bypassed[i+1:]...)
+				ld.Node.BypassGuards--
+				break
+			}
+		}
+	}
+}
+
+// ---- safety & broadcast ----
+
+// recomputeSafety runs the NDA resolve-walk over the ROB and applies
+// InvisiSpec-Spectre exposures for loads that left the speculative shadow.
+func (c *Core) recomputeSafety() {
+	if !c.policy.GuardBranches {
+		return
+	}
+	nodes := make([]*core.Node, c.robLen)
+	for i := 0; i < c.robLen; i++ {
+		nodes[i] = &c.robAt(i).Node
+	}
+	c.policy.RecomputeGuards(nodes)
+
+	if c.policy.LoadVisibility == core.InvisibleUntilResolved {
+		for i := 0; i < c.robLen; i++ {
+			e := c.robAt(i)
+			if e.Invisible && !e.Exposed && e.Node.Completed && !e.Node.UnderGuard {
+				c.hier.InstallData(e.Addr)
+				e.Exposed = true
+				c.stats.Exposures++
+			}
+		}
+	}
+}
+
+// broadcastStage arbitrates the tag broadcast ports: instructions completing
+// this cycle have priority; deferred (completed earlier, newly safe)
+// instructions compete for the remaining ports in age order (§5.1).
+func (c *Core) broadcastStage(completedNow []*Entry) {
+	ports := c.p.BroadcastPorts
+
+	for _, e := range completedNow {
+		if ports == 0 {
+			break
+		}
+		if e.DestP == noPReg || e.Node.Broadcast {
+			continue
+		}
+		if c.policy.MayBroadcast(&e.Node, c.atHead(e)) {
+			c.doBroadcast(e)
+			ports--
+		}
+	}
+	if ports == 0 {
+		return
+	}
+	for i := 0; i < c.robLen && ports > 0; i++ {
+		e := c.robAt(i)
+		if e.DestP == noPReg || !e.Node.Completed || e.Node.Broadcast {
+			continue
+		}
+		if !c.policy.MayBroadcast(&e.Node, c.atHead(e)) {
+			continue
+		}
+		if !e.HasSafeSince {
+			e.HasSafeSince = true
+			e.SafeSince = c.cycle
+		}
+		if c.cycle < e.SafeSince+uint64(c.policy.ExtraBroadcastDelay) {
+			continue
+		}
+		c.doBroadcast(e)
+		ports--
+	}
+}
+
+func (c *Core) doBroadcast(e *Entry) {
+	c.regReady[e.DestP] = true
+	e.Node.Broadcast = true
+	e.BcastCycle = c.cycle
+	if c.cycle > e.CompleteAt {
+		c.stats.DeferredBroadcasts++
+		c.stats.DeferralCycles += c.cycle - e.CompleteAt
+	}
+}
+
+func (c *Core) atHead(e *Entry) bool {
+	return c.robLen > 0 && c.robAt(0) == e
+}
+
+// ---- commit ----
+
+func (c *Core) commitStage() error {
+	committed := 0
+	defer func() {
+		switch {
+		case committed > 0:
+			c.stats.CommitCycles++
+			c.lastCommit = c.cycle
+		case c.robLen == 0:
+			c.stats.FrontendStalls++
+		case c.robAt(0).isMem() && !c.robAt(0).Node.Completed:
+			c.stats.MemStallCycles++
+		default:
+			c.stats.BackendStalls++
+		}
+		c.stats.Cycles++
+		c.stats.Committed += uint64(committed)
+		if c.offChipLoads > 0 {
+			c.stats.MLPSum += uint64(c.offChipLoads)
+			c.stats.MLPCycles++
+		}
+	}()
+
+	if c.commitValidate > c.cycle {
+		return nil // InvisiSpec validation in progress blocks retirement
+	}
+
+	for budget := c.p.CommitWidth; budget > 0 && c.robLen > 0; budget-- {
+		e := c.robAt(0)
+		if !e.Node.Completed {
+			return nil
+		}
+		if e.DestP != noPReg && !e.Node.Broadcast {
+			return nil // waiting for a (possibly NDA-deferred) broadcast
+		}
+		if c.policy.LoadRestriction && e.Node.Class == isa.ClassLoad &&
+			e.DestP != noPReg && e.BcastCycle == c.cycle {
+			// Load restriction: the head-of-ROB wake-up and the retirement
+			// are sequential commit-stage actions — the load retires the
+			// cycle after it wakes its dependents (§5.3).
+			return nil
+		}
+
+		// InvisiSpec exposure/validation at the retirement safe point.
+		if e.Invisible && !e.Exposed {
+			c.hier.InstallData(e.Addr)
+			e.Exposed = true
+			c.stats.Exposures++
+			if !e.WasPresent {
+				lat := uint64(c.hier.Params().L1D.HitLatency)
+				c.commitValidate = c.cycle + lat
+				c.stats.ValidationStall += lat
+				return nil // retire after validation completes
+			}
+		}
+
+		if e.Fault != isa.FaultNone {
+			if c.TraceCommit != nil {
+				c.TraceCommit(e.PC, e.Inst)
+			}
+			c.retired++
+			committed++
+			c.stats.Faults++
+			return c.deliverFault(e)
+		}
+
+		if err := c.retire(e); err != nil {
+			return err
+		}
+		committed++
+		if c.halted {
+			return nil
+		}
+	}
+	return nil
+}
+
+// retire commits the head entry's architectural side effects and frees it.
+func (c *Core) retire(e *Entry) error {
+	if c.TraceCommit != nil {
+		c.TraceCommit(e.PC, e.Inst)
+	}
+	if c.TraceRetire != nil {
+		ev := TraceEvent{
+			Seq: e.Seq, PC: e.PC, Inst: e.Inst,
+			Fetch: e.FetchedAt, Dispatch: e.DispatchedAt,
+			Issue: e.IssuedAt, Complete: e.CompleteAt, Retire: c.cycle,
+		}
+		if e.DestP != noPReg {
+			ev.Broadcast = e.BcastCycle
+		}
+		c.TraceRetire(ev)
+	}
+	inst := e.Inst
+	switch {
+	case inst.IsStore():
+		c.mem.Write(e.Addr, inst.MemBytes(), c.readP(e.Src2P))
+		c.hier.Data(e.Addr) // timing side effect of the store's fill
+		if len(c.sq) > 0 && c.sq[0] == e {
+			c.sq = c.sq[1:]
+		}
+	case inst.IsLoad():
+		if len(c.lq) > 0 && c.lq[0] == e {
+			c.lq = c.lq[1:]
+		}
+	case inst.Op == isa.OpWrmsr:
+		c.msr[uint16(inst.Imm)] = c.readP(e.Src1P)
+	case inst.Op == isa.OpSpecOff:
+		c.noSpec = true
+		// The front end stopped at this instruction; resume it now that
+		// the no-speculation window is architecturally active.
+		if c.fetchDead {
+			c.fetchDead = false
+			c.fetchPC = e.PC + isa.InstBytes
+			if c.fetchStall < c.cycle+1 {
+				c.fetchStall = c.cycle + 1
+			}
+			c.lastFetchLine = ^uint64(0)
+		}
+	case inst.Op == isa.OpSpecOn:
+		c.noSpec = false
+	case inst.Op == isa.OpJalr && !c.p.SpeculativeBTBUpdate:
+		c.btb.Update(e.PC, e.Target)
+	case inst.Op == isa.OpInvalid:
+		return fmt.Errorf("ooo: committed invalid instruction at pc=%#x", e.PC)
+	case inst.Op == isa.OpHalt:
+		c.halted = true
+	}
+
+	if e.DestP != noPReg && e.PrevP != noPReg {
+		c.freeList = append(c.freeList, e.PrevP)
+	}
+	if e.Issued {
+		c.stats.DispatchToIssueSum += e.IssuedAt - e.DispatchedAt
+		c.stats.DispatchToIssueCount++
+	}
+	c.retired++
+	e.reset()
+	c.robHead = (c.robHead + 1) % len(c.rob)
+	c.robLen--
+	return nil
+}
+
+// deliverFault takes the architectural fault at the head of the ROB:
+// everything from the faulting instruction on is squashed and fetch vectors
+// to the trap handler. Without a handler the fault is fatal.
+func (c *Core) deliverFault(e *Entry) error {
+	handler := c.msr[isa.MSRTrapHandler]
+	if handler == 0 {
+		return fmt.Errorf("ooo: unhandled fault %v at pc=%#x addr=%#x", e.Fault, e.PC, e.Addr)
+	}
+	c.msr[isa.MSRTrapCause] = uint64(e.Fault)
+	c.msr[isa.MSRTrapAddr] = e.Addr
+	if e.Inst.Op == isa.OpRdmsr || e.Inst.Op == isa.OpWrmsr {
+		c.msr[isa.MSRTrapAddr] = uint64(uint16(e.Inst.Imm))
+	}
+	c.squashFrom(e.Seq, handler)
+	return nil
+}
+
+// ---- squash ----
+
+// squashFrom removes every instruction with sequence number >= seq from the
+// pipeline — fetch queue and ROB — restoring the rename table, free list,
+// and predictor checkpoints, then redirects fetch to newPC.
+func (c *Core) squashFrom(seq, newPC uint64) {
+	c.stats.Squashes++
+
+	// Fetch queue slots are the youngest instructions; rewind their
+	// predictor checkpoints youngest-first, then drop them all (their seqs
+	// are always >= any ROB seq, and squash points never land inside the
+	// fetch queue's seq range with entries to keep).
+	for i := len(c.fetchQ) - 1; i >= 0; i-- {
+		s := &c.fetchQ[i]
+		if s.seq < seq {
+			continue
+		}
+		if s.hasGshCkpt {
+			c.gsh.SetHistory(s.gshCkpt)
+		}
+		if s.hasRASCkpt {
+			c.ras.Restore(s.rasBefore)
+		}
+	}
+	kept := c.fetchQ[:0]
+	for _, s := range c.fetchQ {
+		if s.seq < seq {
+			kept = append(kept, s)
+		}
+	}
+	c.fetchQ = kept
+
+	// Drop squashed entries from the schedulers before the ROB walk resets
+	// them (reset zeroes Seq, which the queue filter keys on).
+	c.filterQueues(seq)
+
+	for c.robLen > 0 {
+		e := c.robAt(c.robLen - 1)
+		if e.Seq < seq {
+			break
+		}
+		if e.DestP != noPReg {
+			rd, _ := e.Inst.WritesReg()
+			c.rat[rd] = e.PrevP
+			c.freeList = append(c.freeList, e.DestP)
+		}
+		if e.HasGshCkpt {
+			c.gsh.SetHistory(e.GshCkpt)
+		}
+		if e.HasRASCkpt {
+			c.ras.Restore(e.RASBefore)
+		}
+		if e.Node.Class == isa.ClassBranch && !e.Node.GuardResolved && c.unresolvedBranches > 0 {
+			c.unresolvedBranches--
+		}
+		if e.Inflight && e.OffChip {
+			c.offChipLoads--
+		}
+		c.stats.SquashedInsts++
+		e.reset()
+		c.robLen--
+	}
+
+	if c.fetchWait && c.fetchWaitSq >= seq {
+		c.fetchWait = false
+	}
+	c.fetchDead = false
+	c.fetchPC = newPC
+	if s := c.cycle + uint64(c.p.RedirectPenalty); s > c.fetchStall {
+		c.fetchStall = s
+	}
+	c.lastFetchLine = ^uint64(0)
+}
+
+func (c *Core) filterQueues(seq uint64) {
+	filter := func(q []*Entry) []*Entry {
+		kept := q[:0]
+		for _, e := range q {
+			if e.Seq < seq {
+				kept = append(kept, e)
+			}
+		}
+		return kept
+	}
+	c.iq = filter(c.iq)
+	c.lq = filter(c.lq)
+	c.sq = filter(c.sq)
+}
+
+// ---- issue & execute ----
+
+func (c *Core) issueStage() {
+	budget := c.p.IssueWidth
+	issued := 0
+	anyRemoved := false
+	for i := 0; i < len(c.iq) && budget > 0; i++ {
+		e := c.iq[i]
+		if e.RetryAt > c.cycle {
+			continue
+		}
+		if !c.operandsReady(e) {
+			continue
+		}
+		if c.serializeBlocked(e) {
+			continue
+		}
+		if !c.execute(e) {
+			continue // replay scheduled
+		}
+		e.Issued = true
+		e.IssuedAt = c.cycle
+		e.InIQ = false
+		c.iq[i] = nil
+		anyRemoved = true
+		budget--
+		issued++
+	}
+	if anyRemoved {
+		kept := c.iq[:0]
+		for _, e := range c.iq {
+			if e != nil {
+				kept = append(kept, e)
+			}
+		}
+		c.iq = kept
+	}
+	if issued > 0 {
+		c.stats.ILPSum += uint64(issued)
+		c.stats.ILPCycles++
+	}
+}
+
+// operandsReady checks source readiness. Stores only need their address
+// base to issue address generation; the data register is read at forwarding
+// time and at commit.
+func (c *Core) operandsReady(e *Entry) bool {
+	if e.Inst.IsStore() {
+		return c.pReady(e.Src1P)
+	}
+	return c.pReady(e.Src1P) && c.pReady(e.Src2P)
+}
+
+// serializeBlocked enforces FENCE (no younger instruction may issue until
+// the fence completes; the fence itself waits for all older instructions to
+// complete) and RDCYCLE (waits for all older instructions to complete, like
+// rdtscp's pseudo-serialization).
+func (c *Core) serializeBlocked(e *Entry) bool {
+	switch e.Inst.Op {
+	case isa.OpFence, isa.OpRdcycle, isa.OpSpecOff, isa.OpSpecOn, isa.OpHalt:
+		return !c.oldersCompleted(e)
+	case isa.OpRdmsr:
+		// WRMSR takes architectural effect at commit, so an MSR read must
+		// wait for older in-flight writes to the same MSR to drain. It may
+		// still issue speculatively otherwise — the LazyFP/v3a leak path.
+		if c.olderMSRWritePending(e) {
+			return true
+		}
+	}
+	return c.olderFencePending(e)
+}
+
+// olderMSRWritePending reports whether an older un-retired WRMSR targets the
+// same MSR as the read e.
+func (c *Core) olderMSRWritePending(e *Entry) bool {
+	for i := 0; i < c.robLen; i++ {
+		o := c.robAt(i)
+		if o.Seq >= e.Seq {
+			return false
+		}
+		if o.Inst.Op == isa.OpWrmsr && o.Inst.Imm == e.Inst.Imm {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Core) oldersCompleted(e *Entry) bool {
+	for i := 0; i < c.robLen; i++ {
+		o := c.robAt(i)
+		if o.Seq >= e.Seq {
+			return true
+		}
+		if !o.Node.Completed {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) olderFencePending(e *Entry) bool {
+	for i := 0; i < c.robLen; i++ {
+		o := c.robAt(i)
+		if o.Seq >= e.Seq {
+			return false
+		}
+		if o.Inst.Op == isa.OpFence && !o.Node.Completed {
+			return true
+		}
+	}
+	return false
+}
+
+// execute begins execution of e this cycle: operands are read, the result
+// (and any fault) is computed, and CompleteAt is scheduled. Loads perform
+// their forwarding scan and cache access here — wrong-path fills included.
+// Returns false if the instruction must replay (store-to-load conflict not
+// yet forwardable).
+func (c *Core) execute(e *Entry) bool {
+	inst := e.Inst
+	lat := c.p.execLatency(inst.Op)
+
+	switch {
+	case isa.IsALU(inst.Op):
+		a := c.readP(e.Src1P)
+		if inst.Op == isa.OpLui {
+			a = 0
+		}
+		e.Result = isa.EvalALU(inst.Op, a, isa.ALUOperandB(inst, c.readP(e.Src2P)))
+
+	case inst.IsCondBranch():
+		e.Taken = isa.EvalBranch(inst.Op, c.readP(e.Src1P), c.readP(e.Src2P))
+		if e.Taken {
+			e.Target = uint64(inst.Imm)
+		} else {
+			e.Target = e.PC + isa.InstBytes
+		}
+
+	case inst.Op == isa.OpJal:
+		e.Result = e.PC + isa.InstBytes
+		e.Taken = true
+		e.Target = uint64(inst.Imm)
+
+	case inst.Op == isa.OpJalr:
+		e.Result = e.PC + isa.InstBytes
+		e.Taken = true
+		e.Target = (c.readP(e.Src1P) + uint64(inst.Imm)) &^ 1
+
+	case inst.IsLoad():
+		return c.executeLoad(e)
+
+	case inst.IsStore():
+		e.Addr = c.readP(e.Src1P) + uint64(inst.Imm)
+		if c.userMode && !c.mem.UserAccessOK(e.Addr, inst.MemBytes()) {
+			e.Fault = isa.FaultKernelStore
+		}
+
+	case inst.Op == isa.OpRdcycle:
+		e.Result = c.cycle
+
+	case inst.Op == isa.OpRdmsr:
+		msr := uint16(inst.Imm)
+		if msr >= isa.NumMSR || (c.userMode && isa.PrivilegedMSR(msr)) {
+			e.Fault = isa.FaultPrivilegeMSR
+			if c.p.MeltdownVulnerable && msr < isa.NumMSR {
+				e.Result = c.msr[msr] // the LazyFP/v3a flaw: data flows anyway
+			}
+		} else {
+			e.Result = c.msr[msr]
+		}
+
+	case inst.Op == isa.OpWrmsr:
+		msr := uint16(inst.Imm)
+		if msr >= isa.NumMSR || (c.userMode && isa.PrivilegedMSR(msr)) {
+			e.Fault = isa.FaultPrivilegeMSR
+		}
+
+	case inst.Op == isa.OpClflush:
+		e.Addr = c.readP(e.Src1P) + uint64(inst.Imm)
+		c.hier.Flush(e.Addr)
+
+	case inst.Op == isa.OpFence, inst.Op == isa.OpNop, inst.Op == isa.OpHalt,
+		inst.Op == isa.OpSpecOff, inst.Op == isa.OpSpecOn:
+		// Nothing to compute.
+	}
+
+	e.CompleteAt = c.cycle + uint64(lat)
+	return true
+}
+
+// executeLoad performs address generation, the store-queue scan
+// (forwarding, replay, or speculative bypass), the protection check, and
+// the cache access.
+func (c *Core) executeLoad(e *Entry) bool {
+	inst := e.Inst
+	e.Addr = c.readP(e.Src1P) + uint64(inst.Imm)
+	e.AddrKnown = true
+	size := inst.MemBytes()
+
+	// Scan older stores youngest-first. The first address-known overlap
+	// decides: full coverage with ready data forwards; anything else
+	// replays until the store drains. Address-unknown older stores are
+	// speculatively bypassed and recorded.
+	var fwd *Entry
+	e.bypassed = e.bypassed[:0]
+	for i := len(c.sq) - 1; i >= 0; i-- {
+		s := c.sq[i]
+		if s.Seq > e.Seq {
+			continue
+		}
+		if !s.Issued || !s.AddrKnown {
+			e.bypassed = append(e.bypassed, s)
+			continue
+		}
+		ssize := s.Inst.MemBytes()
+		if !overlaps(s.Addr, ssize, e.Addr, size) {
+			continue
+		}
+		if covers(s.Addr, ssize, e.Addr, size) && c.pReady(s.Src2P) {
+			fwd = s
+		} else {
+			// Partial overlap or data not yet propagatable: replay.
+			e.bypassed = e.bypassed[:0]
+			e.RetryAt = c.cycle + 2
+			c.stats.LoadReplays++
+			return false
+		}
+		break
+	}
+
+	e.Node.BypassGuards = len(e.bypassed)
+	if len(e.bypassed) > 0 {
+		c.stats.BypassedLoads++
+	}
+
+	if c.userMode && !c.mem.UserAccessOK(e.Addr, size) {
+		e.Fault = isa.FaultKernelLoad
+	}
+
+	if fwd != nil {
+		c.stats.LoadForwards++
+		e.ForwardSeq = fwd.Seq
+		val := c.readP(fwd.Src2P) >> (8 * (e.Addr - fwd.Addr))
+		e.Result = truncate(val, size)
+		e.CompleteAt = c.cycle + uint64(c.p.AGULatency+c.p.ForwardLatency)
+	} else {
+		var res cache.Result
+		invisible := false
+		switch c.policy.LoadVisibility {
+		case core.InvisibleUntilResolved:
+			// InvisiSpec-Spectre: a load is speculative iff some OLDER
+			// branch is unresolved; younger branches are irrelevant.
+			invisible = c.olderUnresolvedBranch(e)
+		case core.InvisibleUntilRetire:
+			invisible = true
+		}
+		if invisible {
+			res = c.hier.DataNoInstall(e.Addr)
+			e.Invisible = true
+			e.WasPresent = res.Level == cache.LevelL1
+			c.stats.InvisibleLoads++
+		} else {
+			res = c.hier.Data(e.Addr)
+		}
+		e.Result = truncate(c.mem.Read(e.Addr, size), size)
+		e.CompleteAt = c.cycle + uint64(c.p.AGULatency+res.Latency)
+		if res.OffChip() {
+			e.OffChip = true
+			c.offChipLoads++
+		}
+		e.Inflight = true
+	}
+
+	if e.Fault != isa.FaultNone && !c.p.MeltdownVulnerable {
+		e.Result = 0 // a fixed core zeroes the faulting load's data
+	}
+	return true
+}
+
+// olderUnresolvedBranch reports whether a branch older than e has not yet
+// resolved its direction and target.
+func (c *Core) olderUnresolvedBranch(e *Entry) bool {
+	for i := 0; i < c.robLen; i++ {
+		o := c.robAt(i)
+		if o.Seq >= e.Seq {
+			return false
+		}
+		if o.Node.Class == isa.ClassBranch && !o.Node.GuardResolved {
+			return true
+		}
+	}
+	return false
+}
+
+func truncate(v uint64, size int) uint64 {
+	switch size {
+	case 1:
+		return v & 0xFF
+	case 4:
+		return v & 0xFFFFFFFF
+	}
+	return v
+}

@@ -1,0 +1,132 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s.N != 0 || s.Mean != 0 || s.CI95 != 0 {
+		t.Errorf("empty summary = %+v", s)
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.Mean != 3.5 || s.CI95 != 0 || s.Stddev != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnownSample(t *testing.T) {
+	// Sample {2,4,4,4,5,5,7,9}: mean 5, sample stddev ~2.138.
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 {
+		t.Errorf("mean = %v", s.Mean)
+	}
+	if !approx(s.Stddev, 2.1380899, 1e-6) {
+		t.Errorf("stddev = %v", s.Stddev)
+	}
+	// t(7, 95%) = 2.365; CI = t * s / sqrt(8).
+	if want := 2.365 * s.Stddev / math.Sqrt(8); !approx(s.CI95, want, 1e-9) {
+		t.Errorf("CI95 = %v, want %v", s.CI95, want)
+	}
+	if s.String() == "" {
+		t.Error("empty string form")
+	}
+}
+
+func TestSummarizeLargeSampleUsesNormal(t *testing.T) {
+	xs := make([]float64, 100)
+	for i := range xs {
+		xs[i] = float64(i % 10)
+	}
+	s := Summarize(xs)
+	if want := 1.96 * s.Stddev / 10; !approx(s.CI95, want, 1e-9) {
+		t.Errorf("large-sample CI = %v, want %v", s.CI95, want)
+	}
+}
+
+func TestSummarizeConstantSample(t *testing.T) {
+	s := Summarize([]float64{7, 7, 7, 7})
+	if s.Stddev != 0 || s.CI95 != 0 || s.Mean != 7 {
+		t.Errorf("constant sample = %+v", s)
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Error("empty mean")
+	}
+	if Mean([]float64{1, 2, 3}) != 2 {
+		t.Error("mean")
+	}
+}
+
+func TestGeomean(t *testing.T) {
+	if Geomean(nil) != 0 {
+		t.Error("empty geomean")
+	}
+	if !approx(Geomean([]float64{2, 8}), 4, 1e-9) {
+		t.Errorf("geomean(2,8) = %v", Geomean([]float64{2, 8}))
+	}
+	// Zero and negative values are skipped.
+	if !approx(Geomean([]float64{0, -3, 2, 8}), 4, 1e-9) {
+		t.Error("geomean must skip non-positive values")
+	}
+	if Geomean([]float64{0, -1}) != 0 {
+		t.Error("all-skipped geomean must be 0")
+	}
+}
+
+func TestSummarizeProperties(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e12 {
+				xs = append(xs, x)
+			}
+		}
+		s := Summarize(xs)
+		if len(xs) == 0 {
+			return s.Mean == 0
+		}
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		// The mean lies within the sample range; CI and stddev are
+		// non-negative.
+		return s.Mean >= lo-1e-6 && s.Mean <= hi+1e-6 && s.CI95 >= 0 && s.Stddev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeomeanBetweenMinAndMax(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if x > 1e-6 && x < 1e12 && !math.IsNaN(x) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		g := Geomean(xs)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, x := range xs {
+			lo, hi = math.Min(lo, x), math.Max(hi, x)
+		}
+		return g >= lo*(1-1e-9) && g <= hi*(1+1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,128 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+
+	"nda/internal/asm"
+	"nda/internal/core"
+	"nda/internal/ooo"
+)
+
+func collect(t *testing.T, src string, pol core.Policy, limit int) *Collector {
+	t.Helper()
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := ooo.NewFromProgram(p, pol, ooo.DefaultParams())
+	col := &Collector{Limit: limit}
+	col.Attach(c)
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	return col
+}
+
+const prog = `
+        .data
+        .org 0x100000
+buf:    .word64 1, 2, 3, 4
+        .text
+main:   li   s0, 0x100000
+        ld   t0, (s0)
+        add  t1, t0, t0
+        ld   t2, 8(s0)
+        add  t3, t2, t1
+        halt
+`
+
+func TestCollectAndRender(t *testing.T) {
+	col := collect(t, prog, core.Baseline(), 0)
+	if len(col.Records) != 6 {
+		t.Fatalf("got %d records", len(col.Records))
+	}
+	out := col.Render(120)
+	if !strings.Contains(out, "pipeline trace: 6 instructions") {
+		t.Errorf("header missing:\n%s", out)
+	}
+	for _, want := range []string{"F", "D", "I", "C", "R", "ld x5, 0(x8)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render missing %q:\n%s", want, out)
+		}
+	}
+	// Milestones must be ordered for every record.
+	for _, r := range col.Records {
+		if !(r.Fetch <= r.Dispatch && r.Dispatch <= r.Issue && r.Issue < r.Complete && r.Complete <= r.Retire) {
+			t.Errorf("milestones out of order: %+v", r)
+		}
+	}
+}
+
+func TestLimit(t *testing.T) {
+	col := collect(t, prog, core.Baseline(), 3)
+	if len(col.Records) != 3 {
+		t.Errorf("limit not honored: %d records", len(col.Records))
+	}
+}
+
+func TestNDAPolicyVisibleInDeferral(t *testing.T) {
+	// Under strict propagation a load in a branch shadow defers its
+	// broadcast; the mean complete->broadcast gap must exceed baseline's.
+	shadowProg := `
+        .data
+        .org 0x100000
+size:   .word64 1000
+        .align 64
+buf:    .space 8192
+        .text
+main:   li   s0, 0x100040
+        li   s1, 200
+        la   s2, size
+loop:   clflush (s2)
+        fence
+        ld   t0, (s2)        # slow branch condition
+        blt  s1, t0, body    # resolves late: wide shadow
+body:   ld   t1, (s0)        # in the shadow
+        add  t2, t1, t1
+        addi s1, s1, -1
+        bne  s1, zero, loop
+        halt
+`
+	base := collect(t, shadowProg, core.Baseline(), 0)
+	strict := collect(t, shadowProg, core.Strict(), 0)
+	if strict.BroadcastDeferral() <= base.BroadcastDeferral() {
+		t.Errorf("strict deferral %.1f must exceed baseline %.1f",
+			strict.BroadcastDeferral(), base.BroadcastDeferral())
+	}
+}
+
+func TestRenderClipping(t *testing.T) {
+	col := collect(t, `
+        .data
+        .org 0x400000
+far:    .word64 1
+        .text
+main:   la   s0, far
+        ld   t0, (s0)        # DRAM miss: long lifetime
+        add  t1, t0, t0
+        halt
+`, core.Baseline(), 0)
+	out := col.Render(40)
+	lines := strings.Split(out, "\n")
+	for _, line := range lines[2:] { // skip the header
+		if len(line) > 40+45 { // 45 columns of prefix
+			t.Errorf("line exceeds clip width: %q", line)
+		}
+	}
+	if !strings.Contains(out, ">") {
+		t.Error("clipped rows must be marked with '>'")
+	}
+}
+
+func TestRenderEmpty(t *testing.T) {
+	col := &Collector{}
+	if !strings.Contains(col.Render(80), "no records") {
+		t.Error("empty render")
+	}
+}

@@ -1,0 +1,149 @@
+// Package workload generates the programs the evaluation runs: 23 synthetic
+// proxies named after the SPEC CPU 2017 benchmarks (each reproducing that
+// benchmark's dominant micro-architectural bottleneck), a set of generic
+// kernels, and seeded random programs used for differential testing of the
+// timing cores against the reference emulator.
+package workload
+
+import (
+	"fmt"
+
+	"nda/internal/isa"
+)
+
+// Builder assembles an isa.Program instruction by instruction, with
+// forward-reference patching for branch targets and helpers for data
+// placement. Generators use it instead of textual assembly.
+type Builder struct {
+	textBase uint64
+	insts    []isa.Inst
+	data     []isa.Segment
+	symbols  map[string]uint64
+	entry    uint64
+	hasEntry bool
+}
+
+// NewBuilder starts an empty program at the default text base.
+func NewBuilder() *Builder {
+	return &Builder{textBase: isa.DefaultTextBase, symbols: make(map[string]uint64)}
+}
+
+// PC returns the address of the next instruction to be emitted.
+func (b *Builder) PC() uint64 { return b.textBase + uint64(len(b.insts))*isa.InstBytes }
+
+// Emit appends an instruction and returns its index for later patching.
+func (b *Builder) Emit(i isa.Inst) int {
+	b.insts = append(b.insts, i)
+	return len(b.insts) - 1
+}
+
+// PatchImm sets the Imm of a previously emitted instruction, resolving a
+// forward branch target.
+func (b *Builder) PatchImm(idx int, imm uint64) { b.insts[idx].Imm = int64(imm) }
+
+// Label records the current PC under a name.
+func (b *Builder) Label(name string) uint64 {
+	pc := b.PC()
+	b.symbols[name] = pc
+	return pc
+}
+
+// SetEntry marks the current PC as the program entry point.
+func (b *Builder) SetEntry() { b.entry, b.hasEntry = b.PC(), true }
+
+// Data places a raw data segment.
+func (b *Builder) Data(addr uint64, bytes []byte, kernel bool) {
+	b.data = append(b.data, isa.Segment{Addr: addr, Bytes: bytes, Kernel: kernel})
+}
+
+// DataWords places 64-bit little-endian words at addr.
+func (b *Builder) DataWords(addr uint64, words ...uint64) {
+	buf := make([]byte, 8*len(words))
+	for i, w := range words {
+		for j := 0; j < 8; j++ {
+			buf[i*8+j] = byte(w >> (8 * j))
+		}
+	}
+	b.Data(addr, buf, false)
+}
+
+// Program finalizes the build.
+func (b *Builder) Program() *isa.Program {
+	entry := b.textBase
+	if b.hasEntry {
+		entry = b.entry
+	}
+	return &isa.Program{
+		TextBase: b.textBase,
+		Insts:    b.insts,
+		Entry:    entry,
+		Data:     b.data,
+		Symbols:  b.symbols,
+	}
+}
+
+// Convenience emitters; all addresses are absolute.
+
+// Li loads a 64-bit immediate.
+func (b *Builder) Li(rd isa.Reg, v uint64) { b.Emit(isa.Inst{Op: isa.OpLui, Rd: rd, Imm: int64(v)}) }
+
+// Op3 emits a register-register ALU op.
+func (b *Builder) Op3(op isa.Op, rd, rs1, rs2 isa.Reg) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Rs2: rs2})
+}
+
+// OpI emits a register-immediate ALU op.
+func (b *Builder) OpI(op isa.Op, rd, rs1 isa.Reg, imm int64) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: rs1, Imm: imm})
+}
+
+// Load emits a load of the given width.
+func (b *Builder) Load(op isa.Op, rd, base isa.Reg, off int64) {
+	b.Emit(isa.Inst{Op: op, Rd: rd, Rs1: base, Imm: off})
+}
+
+// Store emits a store of the given width.
+func (b *Builder) Store(op isa.Op, data, base isa.Reg, off int64) {
+	b.Emit(isa.Inst{Op: op, Rs1: base, Rs2: data, Imm: off})
+}
+
+// Branch emits a conditional branch to an absolute target.
+func (b *Builder) Branch(op isa.Op, rs1, rs2 isa.Reg, target uint64) int {
+	return b.Emit(isa.Inst{Op: op, Rs1: rs1, Rs2: rs2, Imm: int64(target)})
+}
+
+// Jump emits an unconditional direct jump.
+func (b *Builder) Jump(target uint64) int {
+	return b.Emit(isa.Inst{Op: isa.OpJal, Rd: isa.RegZero, Imm: int64(target)})
+}
+
+// Call emits a direct call.
+func (b *Builder) Call(target uint64) int {
+	return b.Emit(isa.Inst{Op: isa.OpJal, Rd: isa.RegRA, Imm: int64(target)})
+}
+
+// CallReg emits an indirect call through rs.
+func (b *Builder) CallReg(rs isa.Reg) {
+	b.Emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegRA, Rs1: rs})
+}
+
+// Ret emits a return.
+func (b *Builder) Ret() { b.Emit(isa.Inst{Op: isa.OpJalr, Rd: isa.RegZero, Rs1: isa.RegRA}) }
+
+// Halt emits a halt.
+func (b *Builder) Halt() { b.Emit(isa.Inst{Op: isa.OpHalt}) }
+
+// CountedLoop emits "for i := n; i > 0; i--" around body. The loop counter
+// register must not be clobbered by body.
+func (b *Builder) CountedLoop(counter isa.Reg, n uint64, body func()) {
+	b.Li(counter, n)
+	top := b.PC()
+	body()
+	b.OpI(isa.OpAddi, counter, counter, -1)
+	b.Branch(isa.OpBne, counter, isa.RegZero, top)
+}
+
+// String summarizes the program size (for logs).
+func (b *Builder) String() string {
+	return fmt.Sprintf("program{%d insts, %d data segs}", len(b.insts), len(b.data))
+}

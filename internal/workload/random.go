@@ -1,0 +1,174 @@
+package workload
+
+import (
+	"math/rand"
+
+	"nda/internal/isa"
+)
+
+// Random generates a seeded, terminating program exercising the whole ISA:
+// ALU chains, loads/stores with aliasing (store-to-load forwarding and
+// speculative store bypass), forward branches, counted loops, direct and
+// indirect calls, fences, MSR round-trips, and cache flushes. Control flow
+// is forward-only except counted loops and calls to leaf functions, so
+// termination is guaranteed by construction.
+//
+// Random programs drive the differential tests: the OoO core (under every
+// NDA policy), the in-order core, and the reference emulator must reach
+// identical architectural state. RDCYCLE is deliberately not generated — it
+// is the one instruction whose value is timing-dependent.
+func Random(seed int64, segments int) *isa.Program {
+	r := rand.New(rand.NewSource(seed))
+	b := NewBuilder()
+
+	const (
+		bufBase = 0x100000
+		bufSize = 8192
+		tblBase = 0x110000
+	)
+
+	// Pool of general registers the random code mangles. s0 (x8) holds the
+	// buffer base; x28..x31 are generator scratch.
+	pool := []isa.Reg{5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 16, 17}
+	reg := func() isa.Reg { return pool[r.Intn(len(pool))] }
+	const (
+		base    = isa.RegS0
+		scrA    = isa.Reg(28)
+		scrB    = isa.Reg(29)
+		scrC    = isa.Reg(30)
+		counter = isa.Reg(31)
+	)
+
+	// Random initial buffer contents.
+	buf := make([]byte, bufSize)
+	r.Read(buf)
+	b.Data(bufBase, buf, false)
+
+	// Leaf functions, then an indirect-call table pointing at them.
+	nFuncs := 4
+	funcs := make([]uint64, nFuncs)
+	for i := range funcs {
+		funcs[i] = b.PC()
+		for k, n := 0, 1+r.Intn(3); k < n; k++ {
+			emitALU(b, r, reg(), reg(), reg())
+		}
+		if r.Intn(2) == 0 {
+			emitMaskedAddr(b, r, scrA, reg(), base, bufSize, 8)
+			b.Load(isa.OpLd, reg(), scrA, 0)
+		}
+		b.Ret()
+	}
+	b.DataWords(tblBase, funcs...)
+
+	b.Label("main")
+	b.SetEntry()
+	b.Li(base, bufBase)
+	for _, p := range pool {
+		b.Li(p, r.Uint64())
+	}
+
+	for s := 0; s < segments; s++ {
+		switch r.Intn(14) {
+		case 0, 1, 2: // ALU register op
+			emitALU(b, r, reg(), reg(), reg())
+		case 3, 4: // ALU immediate op
+			ops := []isa.Op{isa.OpAddi, isa.OpAndi, isa.OpOri, isa.OpXori, isa.OpSlti}
+			b.OpI(ops[r.Intn(len(ops))], reg(), reg(), int64(int32(r.Uint32())))
+		case 5: // shift immediate (bounded amount)
+			ops := []isa.Op{isa.OpSlli, isa.OpSrli, isa.OpSrai}
+			b.OpI(ops[r.Intn(len(ops))], reg(), reg(), int64(r.Intn(64)))
+		case 6: // load (random width)
+			op, align := loadOp(r)
+			emitMaskedAddr(b, r, scrA, reg(), base, bufSize, align)
+			b.Load(op, reg(), scrA, 0)
+		case 7: // store (random width)
+			op, align := storeOp(r)
+			emitMaskedAddr(b, r, scrA, reg(), base, bufSize, align)
+			b.Store(op, reg(), scrA, 0)
+		case 8: // store-then-load aliasing pair (forwarding / bypass fodder)
+			emitMaskedAddr(b, r, scrA, reg(), base, bufSize, 8)
+			b.Store(isa.OpSd, reg(), scrA, 0)
+			if r.Intn(2) == 0 {
+				// Same address: must forward.
+				b.Load(isa.OpLd, reg(), scrA, 0)
+			} else {
+				// Maybe-aliasing address computed after the store.
+				emitMaskedAddr(b, r, scrB, reg(), base, bufSize, 8)
+				b.Load(isa.OpLd, reg(), scrB, 0)
+			}
+		case 9: // forward branch over a small body
+			cond := []isa.Op{isa.OpBeq, isa.OpBne, isa.OpBlt, isa.OpBge, isa.OpBltu, isa.OpBgeu}
+			br := b.Branch(cond[r.Intn(len(cond))], reg(), reg(), 0)
+			for k, n := 0, 1+r.Intn(5); k < n; k++ {
+				emitALU(b, r, reg(), reg(), reg())
+			}
+			b.PatchImm(br, b.PC())
+		case 10: // counted loop
+			n := uint64(1 + r.Intn(6))
+			body := 1 + r.Intn(3)
+			b.CountedLoop(counter, n, func() {
+				for k := 0; k < body; k++ {
+					emitALU(b, r, reg(), reg(), reg())
+				}
+			})
+		case 11: // direct call
+			b.Call(funcs[r.Intn(nFuncs)])
+		case 12: // indirect call through the table
+			b.Li(scrB, tblBase+uint64(r.Intn(nFuncs))*8)
+			b.Load(isa.OpLd, scrC, scrB, 0)
+			b.CallReg(scrC)
+		case 13: // system ops with architectural round trips
+			switch r.Intn(3) {
+			case 0:
+				b.Emit(isa.Inst{Op: isa.OpFence})
+			case 1:
+				emitMaskedAddr(b, r, scrA, reg(), base, bufSize, 1)
+				b.Emit(isa.Inst{Op: isa.OpClflush, Rs1: scrA})
+			case 2:
+				b.Emit(isa.Inst{Op: isa.OpWrmsr, Rs1: reg(), Imm: int64(isa.MSRScratch)})
+				b.Emit(isa.Inst{Op: isa.OpRdmsr, Rd: reg(), Imm: int64(isa.MSRScratch)})
+			}
+		}
+	}
+	b.Halt()
+	return b.Program()
+}
+
+func emitALU(b *Builder, r *rand.Rand, rd, rs1, rs2 isa.Reg) {
+	ops := []isa.Op{isa.OpAdd, isa.OpSub, isa.OpAnd, isa.OpOr, isa.OpXor,
+		isa.OpSll, isa.OpSrl, isa.OpSra, isa.OpSlt, isa.OpSltu,
+		isa.OpMul, isa.OpDiv, isa.OpRem}
+	b.Op3(ops[r.Intn(len(ops))], rd, rs1, rs2)
+}
+
+// emitMaskedAddr computes dst = base + (src & mask) where the mask keeps the
+// address inside [0, bufSize) at the given alignment.
+func emitMaskedAddr(b *Builder, r *rand.Rand, dst, src, base isa.Reg, bufSize int, align int) {
+	mask := int64(bufSize - align - (bufSize-align)%align)
+	mask &^= int64(align - 1)
+	b.OpI(isa.OpAndi, dst, src, mask)
+	b.Op3(isa.OpAdd, dst, dst, base)
+	_ = r
+}
+
+func loadOp(r *rand.Rand) (isa.Op, int) {
+	switch r.Intn(3) {
+	case 0:
+		return isa.OpLd, 8
+	case 1:
+		return isa.OpLw, 4
+	default:
+		return isa.OpLbu, 1
+	}
+}
+
+func storeOp(r *rand.Rand) (isa.Op, int) {
+	switch r.Intn(3) {
+	case 0:
+		return isa.OpSd, 8
+	case 1:
+		return isa.OpSw, 4
+	default:
+		return isa.OpSb, 1
+	}
+}

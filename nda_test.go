@@ -1,0 +1,146 @@
+package nda_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nda"
+)
+
+func TestPublicQuickstart(t *testing.T) {
+	prog, err := nda.Assemble(`
+main:   li   t0, 1
+        li   t1, 10
+loop:   add  t0, t0, t0
+        addi t1, t1, -1
+        bne  t1, zero, loop
+        halt
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := nda.NewCore(prog, nda.FullProtection(), nda.DefaultParams())
+	if err := c.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Reg(5); got != 1024 {
+		t.Errorf("t0 = %d, want 1024", got)
+	}
+	if c.Stats().CPI() <= 0 {
+		t.Error("no CPI")
+	}
+}
+
+func TestPublicPolicies(t *testing.T) {
+	if len(nda.Policies()) != 9 {
+		t.Errorf("expected 9 configurations, got %d", len(nda.Policies()))
+	}
+	p, err := nda.PolicyByName("Strict+BR")
+	if err != nil || p.Name != "Strict+BR" {
+		t.Errorf("PolicyByName: %v %v", p, err)
+	}
+	if nda.Baseline().Secure() || !nda.FullProtection().Secure() {
+		t.Error("Secure() flags wrong")
+	}
+}
+
+func TestPublicAttack(t *testing.T) {
+	out, err := nda.RunAttack(nda.SpectreV1Cache, nda.Baseline(), nda.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !out.Leaked {
+		t.Error("insecure baseline must leak")
+	}
+	out, err = nda.RunAttack(nda.SpectreV1Cache, nda.Permissive(), nda.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Leaked {
+		t.Error("NDA must block the attack")
+	}
+}
+
+func TestPublicBenchmarks(t *testing.T) {
+	if len(nda.Benchmarks()) != 23 {
+		t.Errorf("expected 23 SPEC proxies, got %d", len(nda.Benchmarks()))
+	}
+	if len(nda.GenericWorkloads()) == 0 {
+		t.Error("no generic workloads")
+	}
+	b, err := nda.BenchmarkByName("mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := nda.QuickHarnessConfig()
+	cfg.WarmInsts, cfg.MeasureInsts, cfg.SkipInsts, cfg.Intervals = 2000, 2000, 1000, 2
+	m, err := nda.Measure(b, nda.Baseline(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.CPI.Mean <= 0 {
+		t.Error("no measurement")
+	}
+}
+
+func TestPublicInOrder(t *testing.T) {
+	prog := nda.MustAssemble("main: li t0, 7\nhalt")
+	m := nda.NewInOrder(prog, nda.DefaultInOrderParams())
+	if err := m.Run(1000); err != nil {
+		t.Fatal(err)
+	}
+	if m.Emu().Regs[5] != 7 {
+		t.Error("in-order result wrong")
+	}
+}
+
+func TestPublicRandomProgram(t *testing.T) {
+	p := nda.RandomProgram(1, 50)
+	if len(p.Insts) == 0 {
+		t.Error("empty random program")
+	}
+}
+
+func TestPublicFig5(t *testing.T) {
+	r, err := nda.MeasureFig5(nda.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Penalty() <= 0 {
+		t.Errorf("penalty = %d", r.Penalty())
+	}
+	if !strings.Contains(nda.RenderFig5(r), "mispredicted") {
+		t.Error("render incomplete")
+	}
+}
+
+// ExampleAssemble demonstrates the assembler and the reference run flow.
+func ExampleAssemble() {
+	prog := nda.MustAssemble(`
+main:   li   a0, 6
+        li   a1, 7
+        mul  a0, a0, a1
+        halt
+`)
+	c := nda.NewCore(prog, nda.Baseline(), nda.DefaultParams())
+	if err := c.Run(100_000); err != nil {
+		panic(err)
+	}
+	fmt.Println(c.Reg(10))
+	// Output: 42
+}
+
+// ExampleRunAttack shows the Spectre v1 verdict under two policies.
+func ExampleRunAttack() {
+	for _, pol := range []nda.Policy{nda.Baseline(), nda.FullProtection()} {
+		out, err := nda.RunAttack(nda.SpectreV1Cache, pol, nda.DefaultParams())
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%s leaked=%v\n", pol.Name, out.Leaked)
+	}
+	// Output:
+	// OoO leaked=true
+	// FullProtection leaked=false
+}
