@@ -1,0 +1,40 @@
+# Single source of truth for build/verify commands: CI (.github/workflows/
+# ci.yml) and local runs invoke exactly these targets.
+
+GO ?= go
+
+.PHONY: build test race bench-smoke vet fmt fmt-check ci
+
+## build: compile every package and command
+build:
+	$(GO) build ./...
+
+## test: tier-1 test suite
+test:
+	$(GO) test ./...
+
+## race: full test suite under the race detector (proves the parallel
+## sweep engine and attack matrix are race-clean)
+race:
+	$(GO) test -race ./...
+
+## bench-smoke: run every Fig/Table benchmark exactly once, no timing
+## gate — exercises each experiment driver without letting noise block CI
+bench-smoke:
+	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## vet: static analysis
+vet:
+	$(GO) vet ./...
+
+## fmt: rewrite sources with gofmt
+fmt:
+	gofmt -w .
+
+## fmt-check: fail if any file needs gofmt
+fmt-check:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+## ci: everything the CI pipeline runs, in one local command
+ci: build test vet fmt-check race bench-smoke

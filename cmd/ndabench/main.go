@@ -28,6 +28,7 @@ func main() {
 		verbose     = flag.Bool("v", false, "print per-cell progress")
 		jsonOut     = flag.String("json", "", "also write the raw sweep measurements to this file as JSON")
 		checkpoints = flag.Bool("checkpoints", false, "sample via functional-fast-forward checkpoints (Lapidary/SMARTS style)")
+		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
 	)
 	flag.Parse()
 
@@ -36,6 +37,7 @@ func main() {
 		cfg = harness.Quick()
 	}
 	cfg.UseCheckpoints = *checkpoints
+	cfg.Workers = *workers
 
 	specs := workload.SPEC()
 	if *workloads != "" {

@@ -27,13 +27,14 @@ func main() {
 		fig8       = flag.Bool("fig8", false, "Spectre v1 guess series under NDA permissive (Fig. 8)")
 		attackName = flag.String("attack", "", "run one attack (spectre-v1-cache, spectre-v1-btb, meltdown, ssb, lazyfp-rdmsr, gpr-steering)")
 		policyName = flag.String("policy", "OoO", "policy for -attack")
+		workers    = flag.Int("workers", 0, "parallel matrix workers (0 = one per CPU); verdicts are identical for any value")
 	)
 	flag.Parse()
 	params := ooo.DefaultParams()
 
 	ran := false
 	if *matrix {
-		runMatrix(params)
+		runMatrix(params, *workers)
 		ran = true
 	}
 	if *fig4 {
@@ -69,8 +70,8 @@ func main() {
 	}
 }
 
-func runMatrix(params ooo.Params) {
-	cells, err := attack.Matrix(params)
+func runMatrix(params ooo.Params, workers int) {
+	cells, err := attack.MatrixParallel(params, workers)
 	check(err)
 	fmt.Println("Attack x configuration matrix (paper Table 2 security columns).")
 	fmt.Println("LEAKED = secret byte recovered; blocked = timing series flat.")

@@ -5,6 +5,7 @@ import (
 
 	"nda/internal/core"
 	"nda/internal/ooo"
+	"nda/internal/par"
 )
 
 // Expected encodes the paper's Table 2 security columns: for each attack,
@@ -90,27 +91,48 @@ func (c Cell) Matches() bool { return c.Outcome.Leaked == c.Expected }
 
 // Matrix runs every attack under every policy (plus the in-order core) and
 // returns the full grid — the dynamic reproduction of Table 2's security
-// columns and Table 1's "demonstrated" checkmarks.
+// columns and Table 1's "demonstrated" checkmarks — using one worker per
+// CPU.
 func Matrix(params ooo.Params) ([]Cell, error) {
-	var cells []Cell
-	for _, kind := range All() {
-		for _, pol := range core.All() {
-			out, err := Run(kind, pol, params)
+	return MatrixParallel(params, 0)
+}
+
+// MatrixParallel is Matrix with an explicit worker bound (0 = one per CPU).
+// Every (attack, policy) PoC builds its own program, memory image, and
+// core, and each verdict lands in the slot its tuple indexes, so the
+// returned grid is identical — in content and order — for any worker
+// count.
+func MatrixParallel(params ooo.Params, workers int) ([]Cell, error) {
+	kinds := All()
+	pols := core.All()
+	perKind := len(pols) + 1 // every policy, then the in-order core
+	cells := make([]Cell, len(kinds)*perKind)
+	err := par.Run(len(cells), workers, func(i int) error {
+		kind := kinds[i/perKind]
+		pi := i % perKind
+		if pi == len(pols) {
+			out, err := RunInOrder(kind)
 			if err != nil {
-				return nil, fmt.Errorf("matrix: %w", err)
+				return fmt.Errorf("matrix: %w", err)
 			}
-			cells = append(cells, Cell{
-				Attack:   kind,
-				Policy:   pol.Name,
-				Outcome:  out,
-				Expected: Expected[kind][pol.Name],
-			})
+			cells[i] = Cell{Attack: kind, Policy: "In-Order", Outcome: out, Expected: false}
+			return nil
 		}
-		out, err := RunInOrder(kind)
+		pol := pols[pi]
+		out, err := Run(kind, pol, params)
 		if err != nil {
-			return nil, fmt.Errorf("matrix: %w", err)
+			return fmt.Errorf("matrix: %w", err)
 		}
-		cells = append(cells, Cell{Attack: kind, Policy: "In-Order", Outcome: out, Expected: false})
+		cells[i] = Cell{
+			Attack:   kind,
+			Policy:   pol.Name,
+			Outcome:  out,
+			Expected: Expected[kind][pol.Name],
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return cells, nil
 }

@@ -5,7 +5,9 @@ import (
 
 	"nda/internal/checkpoint"
 	"nda/internal/core"
+	"nda/internal/isa"
 	"nda/internal/ooo"
+	"nda/internal/par"
 	"nda/internal/stats"
 	"nda/internal/workload"
 )
@@ -18,13 +20,24 @@ import (
 // warm-up + measurement window from every checkpoint. This both cuts
 // detailed-simulation cost and samples more distant program phases, like
 // the paper's methodology.
+//
+// Every sample is an independent simulation seeded entirely by its
+// checkpoint (restoring clones the checkpoint's memory), so the samples of
+// one measurement fan out over cfg.Workers goroutines, and one workload's
+// series is shared read-only by every policy's measurement of it.
 
-// MeasureOoOCheckpointed measures one benchmark under one policy using
-// checkpoint sampling. cfg.Intervals checkpoints are taken starting after
-// cfg.WarmInsts instructions, spaced cfg.CheckpointStride apart; each is
-// warmed for cfg.WarmInsts detailed instructions and measured for
-// cfg.MeasureInsts.
-func MeasureOoOCheckpointed(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
+// sampleSeries is a workload's sampling points: the generated program plus
+// the checkpoints the timing cores restore from. It is immutable once
+// taken, so any number of concurrent measurements may share it.
+type sampleSeries struct {
+	prog *isa.Program
+	cps  []*checkpoint.Checkpoint
+}
+
+// takeSamples builds the workload's program and captures cfg.Intervals
+// checkpoints starting after cfg.WarmInsts instructions, spaced
+// cfg.CheckpointStride apart (0 = 10x the warm+measure window).
+func takeSamples(spec workload.Spec, cfg Config) (*sampleSeries, error) {
 	prog := spec.Build(hugeIters)
 	stride := cfg.CheckpointStride
 	if stride == 0 {
@@ -34,59 +47,103 @@ func MeasureOoOCheckpointed(spec workload.Spec, pol core.Policy, cfg Config) (*M
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s checkpoints: %w", spec.Name, err)
 	}
+	return &sampleSeries{prog: prog, cps: cps}, nil
+}
 
-	m := &Measurement{Workload: spec.Name, Config: pol.Name}
-	var cpis []float64
-	var agg ooo.Stats
-	for i, cp := range cps {
-		c := cp.OoO(prog, pol, cfg.Params)
+// oooSample is one detailed-simulation sample, snapshotted by value so the
+// fold below never aliases a live core's counters.
+type oooSample struct {
+	cpi float64
+	s   ooo.Stats
+}
+
+// measureOoOSamples runs the timing samples of one (workload, policy) cell
+// over the shared series, up to cfg.Workers at a time, and folds them in
+// sample order — the fold is identical no matter which samples finish
+// first.
+func measureOoOSamples(spec workload.Spec, pol core.Policy, cfg Config, ss *sampleSeries) (*Measurement, error) {
+	out := make([]oooSample, len(ss.cps))
+	err := par.Run(len(ss.cps), cfg.workerCount(), func(i int) error {
+		c := ss.cps[i].OoO(ss.prog, pol, cfg.Params)
 		if err := c.RunInsts(cfg.WarmInsts, cfg.MaxCycles); err != nil {
-			return nil, fmt.Errorf("harness: %s/%s sample %d warm-up: %w", spec.Name, pol.Name, i, err)
+			return fmt.Errorf("harness: %s/%s sample %d warm-up: %w", spec.Name, pol.Name, i, err)
 		}
 		c.ResetStats()
 		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
-			return nil, fmt.Errorf("harness: %s/%s sample %d: %w", spec.Name, pol.Name, i, err)
+			return fmt.Errorf("harness: %s/%s sample %d: %w", spec.Name, pol.Name, i, err)
 		}
-		s := c.Stats()
-		cpis = append(cpis, s.CPI())
-		addStats(&agg, s)
+		s := *c.Stats()
+		out[i] = oooSample{cpi: s.CPI(), s: s}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &Measurement{Workload: spec.Name, Config: pol.Name}
+	var cpis []float64
+	var agg ooo.Stats
+	for _, smp := range out {
+		cpis = append(cpis, smp.cpi)
+		addStats(&agg, smp.s)
 	}
 	m.CPI = stats.Summarize(cpis)
 	fillFromStats(m, &agg)
 	return m, nil
 }
 
-// MeasureInOrderCheckpointed is the in-order counterpart.
-func MeasureInOrderCheckpointed(spec workload.Spec, cfg Config) (*Measurement, error) {
-	prog := spec.Build(hugeIters)
-	stride := cfg.CheckpointStride
-	if stride == 0 {
-		stride = 10 * (cfg.WarmInsts + cfg.MeasureInsts)
-	}
-	cps, err := checkpoint.TakeSeries(prog, cfg.WarmInsts, stride, cfg.Intervals)
+// MeasureOoOCheckpointed measures one benchmark under one policy using
+// checkpoint sampling (cfg.Intervals samples, each warmed for cfg.WarmInsts
+// detailed instructions and measured for cfg.MeasureInsts, run up to
+// cfg.Workers at a time).
+func MeasureOoOCheckpointed(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
+	ss, err := takeSamples(spec, cfg)
 	if err != nil {
-		return nil, fmt.Errorf("harness: %s checkpoints: %w", spec.Name, err)
+		return nil, err
+	}
+	return measureOoOSamples(spec, pol, cfg, ss)
+}
+
+// inOrderSample mirrors oooSample for the blocking core.
+type inOrderSample struct {
+	cpi                                               float64
+	cycles, committed, mlpSum, mlpCyc, ilpSum, ilpCyc uint64
+}
+
+// measureInOrderSamples is the in-order counterpart of measureOoOSamples.
+func measureInOrderSamples(spec workload.Spec, cfg Config, ss *sampleSeries) (*Measurement, error) {
+	out := make([]inOrderSample, len(ss.cps))
+	err := par.Run(len(ss.cps), cfg.workerCount(), func(i int) error {
+		c := ss.cps[i].InOrder(ss.prog, cfg.IOParams)
+		if err := c.RunInsts(cfg.WarmInsts); err != nil {
+			return fmt.Errorf("harness: %s/in-order sample %d warm-up: %w", spec.Name, i, err)
+		}
+		c.ResetStats()
+		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
+			return fmt.Errorf("harness: %s/in-order sample %d: %w", spec.Name, i, err)
+		}
+		s := c.Stats()
+		out[i] = inOrderSample{
+			cpi:    s.CPI(),
+			cycles: s.Cycles, committed: s.Committed,
+			mlpSum: s.MLPSum, mlpCyc: s.MLPCycles,
+			ilpSum: s.ILPSum, ilpCyc: s.ILPCycles,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	m := &Measurement{Workload: spec.Name, Config: InOrderName}
 	var cpis []float64
 	var cycles, committed, mlpSum, mlpCyc, ilpSum, ilpCyc uint64
-	for i, cp := range cps {
-		c := cp.InOrder(prog, cfg.IOParams)
-		if err := c.RunInsts(cfg.WarmInsts); err != nil {
-			return nil, fmt.Errorf("harness: %s/in-order sample %d warm-up: %w", spec.Name, i, err)
-		}
-		c.ResetStats()
-		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
-			return nil, err
-		}
-		s := c.Stats()
-		cpis = append(cpis, s.CPI())
-		cycles += s.Cycles
-		committed += s.Committed
-		mlpSum += s.MLPSum
-		mlpCyc += s.MLPCycles
-		ilpSum += s.ILPSum
-		ilpCyc += s.ILPCycles
+	for _, smp := range out {
+		cpis = append(cpis, smp.cpi)
+		cycles += smp.cycles
+		committed += smp.committed
+		mlpSum += smp.mlpSum
+		mlpCyc += smp.mlpCyc
+		ilpSum += smp.ilpSum
+		ilpCyc += smp.ilpCyc
 	}
 	m.CPI = stats.Summarize(cpis)
 	m.Cycles, m.Committed = cycles, committed
@@ -98,4 +155,14 @@ func MeasureInOrderCheckpointed(spec workload.Spec, cfg Config) (*Measurement, e
 	}
 	m.CommitFrac = 1
 	return m, nil
+}
+
+// MeasureInOrderCheckpointed is the in-order counterpart of
+// MeasureOoOCheckpointed.
+func MeasureInOrderCheckpointed(spec workload.Spec, cfg Config) (*Measurement, error) {
+	ss, err := takeSamples(spec, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return measureInOrderSamples(spec, cfg, ss)
 }

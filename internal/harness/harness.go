@@ -8,10 +8,13 @@ package harness
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"nda/internal/core"
 	"nda/internal/inorder"
 	"nda/internal/ooo"
+	"nda/internal/par"
 	"nda/internal/stats"
 	"nda/internal/workload"
 )
@@ -37,6 +40,12 @@ type Config struct {
 	// CheckpointStride is the functional distance between sampling points;
 	// 0 means 10x the warm+measure window.
 	CheckpointStride uint64
+
+	// Workers bounds the goroutines the sweep engine fans (policy,
+	// workload, sample) jobs out over; 0 means one per available CPU.
+	// Every job derives its inputs from its tuple alone, so the results
+	// are bit-identical for any worker count.
+	Workers int
 
 	Params   ooo.Params
 	IOParams inorder.Params
@@ -65,6 +74,9 @@ func Quick() Config {
 	c.Intervals = 4
 	return c
 }
+
+// workerCount resolves Config.Workers (0 = one per CPU).
+func (c Config) workerCount() int { return par.Workers(c.Workers) }
 
 // Measurement aggregates one (benchmark, configuration) cell.
 type Measurement struct {
@@ -108,7 +120,7 @@ func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, 
 		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
 			return nil, fmt.Errorf("harness: %s/%s interval %d: %w", spec.Name, pol.Name, i, err)
 		}
-		s := c.Stats()
+		s := *c.Stats()
 		cpis = append(cpis, s.CPI())
 		addStats(&agg, s)
 		if i < cfg.Intervals-1 && cfg.SkipInsts > 0 {
@@ -167,7 +179,11 @@ func MeasureInOrder(spec workload.Spec, cfg Config) (*Measurement, error) {
 	return m, nil
 }
 
-func addStats(dst, src *ooo.Stats) {
+// addStats folds one measurement interval into an aggregate. src is a value
+// snapshot, never a pointer into a live core: Core.Stats returns the core's
+// internal counter block, which keeps mutating as the core runs, so
+// aggregating through the alias would tie the fold to simulation timing.
+func addStats(dst *ooo.Stats, src ooo.Stats) {
 	dst.Cycles += src.Cycles
 	dst.Committed += src.Committed
 	dst.CommitCycles += src.CommitCycles
@@ -252,50 +268,134 @@ func (s *Sweep) Overhead(config string) float64 {
 	return (s.MeanNormalizedCPI(config) - 1) * 100
 }
 
+// cellJob is one (configuration, workload) cell of the sweep matrix.
+type cellJob struct {
+	config  string
+	pol     core.Policy // unused when inOrder is set
+	inOrder bool
+	spec    workload.Spec
+	specIdx int
+}
+
 // RunSweep measures every benchmark under every policy (and, when
-// includeInOrder is set, the in-order core). progress, if non-nil, receives
-// one line per completed cell.
+// includeInOrder is set, the in-order core), fanning the cells out over
+// cfg.Workers goroutines. progress, if non-nil, receives one line per
+// completed cell; it is called from at most one goroutine at a time, in
+// completion order.
+//
+// Determinism: every cell simulation derives all of its state from its
+// (policy, workload) tuple — fresh program, memory image, core, and
+// checkpoint series — and results land in index-addressed slots, so the
+// returned Sweep is bit-identical for any worker count.
 func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool, cfg Config, progress func(string)) (*Sweep, error) {
 	sw := &Sweep{Cells: make(map[string]map[string]*Measurement)}
 	for _, spec := range specs {
 		sw.Workloads = append(sw.Workloads, spec.Name)
 	}
-	note := func(m *Measurement) {
-		if progress != nil {
-			progress(fmt.Sprintf("%-18s %-14s CPI %s", m.Config, m.Workload, m.CPI))
-		}
-	}
 	for _, pol := range policies {
 		sw.Configs = append(sw.Configs, pol.Name)
-		sw.Cells[pol.Name] = make(map[string]*Measurement)
-		for _, spec := range specs {
-			measure := MeasureOoO
-			if cfg.UseCheckpoints {
-				measure = MeasureOoOCheckpointed
-			}
-			m, err := measure(spec, pol, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sw.Cells[pol.Name][spec.Name] = m
-			note(m)
-		}
 	}
 	if includeInOrder {
 		sw.Configs = append(sw.Configs, InOrderName)
-		sw.Cells[InOrderName] = make(map[string]*Measurement)
-		for _, spec := range specs {
-			measure := MeasureInOrder
-			if cfg.UseCheckpoints {
-				measure = MeasureInOrderCheckpointed
-			}
-			m, err := measure(spec, cfg)
-			if err != nil {
-				return nil, err
-			}
-			sw.Cells[InOrderName][spec.Name] = m
-			note(m)
+	}
+
+	// In checkpoint mode the sampling points depend only on the workload,
+	// so each workload's series is captured once (in parallel) and shared
+	// read-only by all of its cells; restoring clones the memory, so the
+	// series itself is never written after this phase.
+	var series []*sampleSeries
+	var seriesLeft []atomic.Int64 // cells still to run per workload
+	if cfg.UseCheckpoints {
+		series = make([]*sampleSeries, len(specs))
+		seriesLeft = make([]atomic.Int64, len(specs))
+		perWorkload := int64(len(policies))
+		if includeInOrder {
+			perWorkload++
 		}
+		for i := range seriesLeft {
+			seriesLeft[i].Store(perWorkload)
+		}
+		if err := par.Run(len(specs), cfg.workerCount(), func(i int) error {
+			ss, err := takeSamples(specs[i], cfg)
+			if err != nil {
+				return err
+			}
+			series[i] = ss
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	// One job per cell, ordered workload-major: indices are handed out in
+	// order, so a workload's cells cluster in time and its checkpoint
+	// series can be released as soon as the last one finishes.
+	var jobs []cellJob
+	for si, spec := range specs {
+		for _, pol := range policies {
+			jobs = append(jobs, cellJob{config: pol.Name, pol: pol, spec: spec, specIdx: si})
+		}
+		if includeInOrder {
+			jobs = append(jobs, cellJob{config: InOrderName, inOrder: true, spec: spec, specIdx: si})
+		}
+	}
+
+	// Cells saturate the pool on their own; the per-sample fan-out inside
+	// the checkpointed measurements stays serial to avoid nested pools.
+	cellCfg := cfg
+	cellCfg.Workers = 1
+
+	results := make([]*Measurement, len(jobs))
+	var (
+		progressMu sync.Mutex
+		done       int
+	)
+	note := func(m *Measurement) {
+		if progress == nil {
+			return
+		}
+		progressMu.Lock()
+		defer progressMu.Unlock()
+		done++
+		progress(fmt.Sprintf("[%3d/%3d] %-18s %-14s CPI %s", done, len(jobs), m.Config, m.Workload, m.CPI))
+	}
+	err := par.Run(len(jobs), cfg.workerCount(), func(i int) error {
+		j := jobs[i]
+		var m *Measurement
+		var err error
+		switch {
+		case cfg.UseCheckpoints && j.inOrder:
+			m, err = measureInOrderSamples(j.spec, cellCfg, series[j.specIdx])
+		case cfg.UseCheckpoints:
+			m, err = measureOoOSamples(j.spec, j.pol, cellCfg, series[j.specIdx])
+		case j.inOrder:
+			m, err = MeasureInOrder(j.spec, cellCfg)
+		default:
+			m, err = MeasureOoO(j.spec, j.pol, cellCfg)
+		}
+		if err != nil {
+			return err
+		}
+		if cfg.UseCheckpoints && seriesLeft[j.specIdx].Add(-1) == 0 {
+			// Last cell of this workload: drop the series so its cloned
+			// memory pages can be reclaimed while the sweep continues.
+			series[j.specIdx] = nil
+		}
+		results[i] = m
+		note(m)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	for i, j := range jobs {
+		cells := sw.Cells[j.config]
+		if cells == nil {
+			cells = make(map[string]*Measurement)
+			sw.Cells[j.config] = cells
+		}
+		cells[j.spec.Name] = results[i]
 	}
 	return sw, nil
 }

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 
@@ -159,6 +160,63 @@ func TestStatsHelpers(t *testing.T) {
 	}
 	if sw.NormalizedCPI("x", "y") != 0 {
 		t.Error("missing normalization must be 0")
+	}
+}
+
+// TestRunSweepDeterministicAcrossWorkers is the parallel engine's central
+// guarantee: one worker and eight workers must produce bit-identical Sweep
+// tables — every cell, CI, and derived aggregate — in both continuous and
+// checkpointed sampling modes.
+func TestRunSweepDeterministicAcrossWorkers(t *testing.T) {
+	specs := tinySpecs(t, "gcc", "exchange2", "xz")
+	pols := []core.Policy{core.Baseline(), core.Permissive(), core.FullProtection()}
+	for _, checkpoints := range []bool{false, true} {
+		cfg := tinyConfig()
+		cfg.UseCheckpoints = checkpoints
+
+		cfg.Workers = 1
+		serial, err := RunSweep(specs, pols, true, cfg, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Workers = 8
+		var lines []string
+		parallel, err := RunSweep(specs, pols, true, cfg, func(s string) { lines = append(lines, s) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(serial, parallel) {
+			t.Errorf("checkpoints=%v: Workers=1 and Workers=8 sweeps differ", checkpoints)
+		}
+		if len(lines) != (len(pols)+1)*len(specs) {
+			t.Errorf("checkpoints=%v: %d progress lines, want %d", checkpoints, len(lines), (len(pols)+1)*len(specs))
+		}
+		if g1, g8 := serial.MeanNormalizedCPI("FullProtection"), parallel.MeanNormalizedCPI("FullProtection"); g1 != g8 {
+			t.Errorf("checkpoints=%v: geomean drifted: %v vs %v", checkpoints, g1, g8)
+		}
+	}
+}
+
+// TestRunSweepErrorCancels: a measurement failure mid-sweep must stop the
+// pool (no new cells start) and propagate the error to the caller.
+func TestRunSweepErrorCancels(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.MaxCycles = 1 // every cell blows its cycle budget during warm-up
+	cfg.Workers = 4
+	var progressed int
+	sw, err := RunSweep(tinySpecs(t, "gcc", "xz"), []core.Policy{core.Baseline(), core.Permissive()}, false, cfg,
+		func(string) { progressed++ })
+	if err == nil {
+		t.Fatal("cycle-budget error must propagate out of the sweep")
+	}
+	if !strings.Contains(err.Error(), "warm-up") {
+		t.Errorf("error lost its context: %v", err)
+	}
+	if sw != nil {
+		t.Error("failed sweep must return a nil table")
+	}
+	if progressed != 0 {
+		t.Errorf("%d cells reported progress despite every cell failing", progressed)
 	}
 }
 

@@ -7,7 +7,9 @@ import (
 
 	"nda/internal/cache"
 	"nda/internal/ooo"
+	"nda/internal/par"
 	"nda/internal/stats"
+	"nda/internal/workload"
 )
 
 // RenderFig7 renders the per-benchmark CPI table normalized to the insecure
@@ -181,28 +183,43 @@ type Fig9eResult struct {
 
 // RunFig9e measures CPI sensitivity to extra NDA wake-up latency (0, 1, and
 // 2 cycles of delayed broadcast for newly-safe instructions) for the given
-// base policy across the benchmark list.
+// base policy across the benchmark list. The (delay, benchmark) points fan
+// out over cfg.Workers goroutines; each point's CPI lands in a slot indexed
+// by its tuple, so the results are independent of scheduling.
 func RunFig9e(policyName string, delays []int, specNames []string, cfg Config) ([]Fig9eResult, error) {
-	var out []Fig9eResult
-	for _, d := range delays {
-		var cpis []float64
-		for _, name := range specNames {
-			spec, err := byName(name)
-			if err != nil {
-				return nil, err
-			}
-			pol, err := policyByName(policyName)
-			if err != nil {
-				return nil, err
-			}
-			pol.ExtraBroadcastDelay = d
-			m, err := MeasureOoO(spec, pol, cfg)
-			if err != nil {
-				return nil, err
-			}
-			cpis = append(cpis, m.CPI.Mean)
+	specs := make([]workload.Spec, len(specNames))
+	for i, name := range specNames {
+		s, err := byName(name)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, Fig9eResult{Policy: policyName, Delay: d, CPI: stats.Mean(cpis)})
+		specs[i] = s
+	}
+	basePol, err := policyByName(policyName)
+	if err != nil {
+		return nil, err
+	}
+	cpis := make([]float64, len(delays)*len(specs))
+	err = par.Run(len(cpis), cfg.workerCount(), func(i int) error {
+		pol := basePol
+		pol.ExtraBroadcastDelay = delays[i/len(specs)]
+		m, err := MeasureOoO(specs[i%len(specs)], pol, cfg)
+		if err != nil {
+			return err
+		}
+		cpis[i] = m.CPI.Mean
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	out := make([]Fig9eResult, len(delays))
+	for di, d := range delays {
+		out[di] = Fig9eResult{
+			Policy: policyName,
+			Delay:  d,
+			CPI:    stats.Mean(cpis[di*len(specs) : (di+1)*len(specs)]),
+		}
 	}
 	return out, nil
 }

@@ -1,0 +1,74 @@
+// Package par provides the worker pool the evaluation drivers use to fan
+// independent simulations — the (policy, workload, sample) tuples of the
+// SMARTS sweep and the (attack, policy) cells of the security matrix —
+// out over the machine's cores.
+//
+// The pool is built for deterministic aggregation: jobs are identified by
+// index, derive every input from that index, and write results only into
+// index-addressed slots supplied by the caller. Under that contract the
+// aggregate outcome is bit-identical for any worker count, because no job
+// can observe scheduling order.
+package par
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a worker-count setting: n > 0 is used as given; anything
+// else means one worker per available CPU (runtime.GOMAXPROCS(0)).
+func Workers(n int) int {
+	if n > 0 {
+		return n
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run executes n independent jobs, indexed 0..n-1, on up to workers
+// goroutines (workers <= 0 means Workers(0)). Indices are handed out in
+// ascending order, so with one worker the jobs run strictly sequentially.
+//
+// On failure the pool cancels the outstanding work: no queued job starts
+// after an error is recorded, in-flight jobs run to completion, and Run
+// returns the lowest-indexed error among the jobs that ran. With a single
+// worker that is exactly the first error, matching a serial loop.
+func Run(n, workers int, job func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	var (
+		next   atomic.Int64
+		failed atomic.Bool
+		errs   = make([]error, n)
+		wg     sync.WaitGroup
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !failed.Load() {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				if err := job(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,100 @@
+package par
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if Workers(4) != 4 {
+		t.Error("explicit count must be honored")
+	}
+	if Workers(0) < 1 || Workers(-3) < 1 {
+		t.Error("auto count must be at least 1")
+	}
+}
+
+func TestRunAllJobs(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		n := 100
+		hits := make([]int32, n)
+		err := Run(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: job %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(0, 8, func(int) error { return errors.New("must not run") }); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunSerialErrorStopsQueue pins the cancellation contract exactly in
+// the deterministic single-worker case: jobs after the failing index never
+// start.
+func TestRunSerialErrorStopsQueue(t *testing.T) {
+	boom := errors.New("boom")
+	var ran []int
+	err := Run(10, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("jobs ran after the error: %v", ran)
+	}
+}
+
+// TestRunConcurrentErrorCancels checks that a failure seen by one worker
+// stops the others from draining the queue: with the first job failing
+// instantly and every other job sleeping, only the handful of jobs already
+// in flight may complete.
+func TestRunConcurrentErrorCancels(t *testing.T) {
+	var started atomic.Int64
+	err := Run(1000, 4, func(i int) error {
+		started.Add(1)
+		if i == 0 {
+			return fmt.Errorf("job %d failed", i)
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if err == nil {
+		t.Fatal("error must propagate")
+	}
+	if n := started.Load(); n > 100 {
+		t.Errorf("%d jobs started after a failure on job 0", n)
+	}
+}
+
+// TestRunLowestError: with several failures among the jobs that ran, the
+// lowest-indexed one is returned no matter which worker saw it first.
+func TestRunLowestError(t *testing.T) {
+	err := Run(8, 8, func(i int) error {
+		if i >= 4 {
+			return fmt.Errorf("job %d", i)
+		}
+		return nil
+	})
+	if err == nil || err.Error() != "job 4" {
+		t.Fatalf("err = %v, want job 4", err)
+	}
+}
