@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke vet fmt fmt-check ci
+.PHONY: build test race bench-smoke vet lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -27,6 +27,12 @@ bench-smoke:
 vet:
 	$(GO) vet ./...
 
+## lint: vet plus the NDA gadget analyzer over every built-in program;
+## fails if any static verdict deviates from Table 2 or a workload grows a
+## chosen-code gadget
+lint: vet
+	$(GO) run ./cmd/ndalint -check
+
 ## fmt: rewrite sources with gofmt
 fmt:
 	gofmt -w .
@@ -37,4 +43,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test vet fmt-check race bench-smoke
+ci: build test lint fmt-check race bench-smoke

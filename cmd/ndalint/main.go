@@ -1,0 +1,85 @@
+// Command ndalint runs the static speculative-gadget analyzer over every
+// built-in program — the attack proof-of-concept snippets and the workload
+// kernels — and reports each gadget with its per-policy verdict:
+//
+//	ndalint                    # census table: programs x policies
+//	ndalint -json              # full machine-readable report
+//	ndalint -program meltdown  # one program's gadgets with verdict reasons
+//	ndalint -check             # CI gate: static verdicts must match Table 2,
+//	                           # and workloads must have no chosen-code gadget
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"nda/internal/gadget"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit the full report as JSON (stable across worker counts)")
+		check   = flag.Bool("check", false, "fail on unexpected findings (attack verdicts vs Table 2; chosen-code gadgets in workloads)")
+		program = flag.String("program", "", "detail one built-in program's gadgets and verdict reasons")
+		workers = flag.Int("workers", 0, "analysis workers (0 = one per CPU); output is identical for any value")
+	)
+	flag.Parse()
+
+	ins, err := gadget.Builtins()
+	checkErr(err)
+	if *program != "" {
+		filtered := ins[:0]
+		for _, in := range ins {
+			if in.Name == *program {
+				// Keep the full gadget list even for workloads in detail mode.
+				in.Group = "attack"
+				filtered = append(filtered, in)
+			}
+		}
+		if len(filtered) == 0 {
+			fmt.Fprintf(os.Stderr, "ndalint: unknown program %q\n", *program)
+			os.Exit(2)
+		}
+		ins = filtered
+	}
+
+	report, err := gadget.BuildReport(ins, *workers)
+	checkErr(err)
+
+	switch {
+	case *jsonOut:
+		out, err := report.JSON()
+		checkErr(err)
+		os.Stdout.Write(out)
+	case *program != "":
+		for i := range report.Programs {
+			fmt.Print(gadget.Detail(&report.Programs[i]))
+		}
+	default:
+		fmt.Print(report.Text())
+	}
+
+	if *check {
+		if *program != "" {
+			fmt.Fprintln(os.Stderr, "ndalint: -check requires the full built-in set (omit -program)")
+			os.Exit(2)
+		}
+		fails := gadget.Check(report)
+		if len(fails) > 0 {
+			fmt.Fprintf(os.Stderr, "\nndalint: %d unexpected findings:\n", len(fails))
+			for _, f := range fails {
+				fmt.Fprintln(os.Stderr, "  "+f)
+			}
+			os.Exit(1)
+		}
+		fmt.Println("\nndalint: all static verdicts match Table 2; workloads free of chosen-code gadgets")
+	}
+}
+
+func checkErr(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndalint:", err)
+		os.Exit(1)
+	}
+}

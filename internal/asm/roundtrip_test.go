@@ -1,0 +1,96 @@
+package asm_test
+
+import (
+	"testing"
+
+	"nda/internal/asm"
+	"nda/internal/attack"
+	"nda/internal/isa"
+	"nda/internal/workload"
+)
+
+// flattenData projects a program's data segments onto address→byte and
+// address→kernel maps, so the comparison tolerates the one transformation
+// Disassemble documents: adjacent segments may merge.
+func flattenData(p *isa.Program) (map[uint64]byte, map[uint64]bool) {
+	data := map[uint64]byte{}
+	kernel := map[uint64]bool{}
+	for _, seg := range p.Data {
+		for i, b := range seg.Bytes {
+			a := seg.Addr + uint64(i)
+			data[a] = b
+			kernel[a] = seg.Kernel
+		}
+	}
+	return data, kernel
+}
+
+// checkRoundTrip asserts Assemble(Disassemble(p)) reproduces p: text base,
+// entry point, every instruction, and every data byte with its privilege.
+func checkRoundTrip(t *testing.T, name string, p *isa.Program) {
+	t.Helper()
+	src := asm.Disassemble(p)
+	q, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("%s: reassembling disassembly: %v", name, err)
+	}
+	if q.TextBase != p.TextBase || q.Entry != p.Entry {
+		t.Fatalf("%s: base/entry %#x/%#x, want %#x/%#x", name, q.TextBase, q.Entry, p.TextBase, p.Entry)
+	}
+	if len(q.Insts) != len(p.Insts) {
+		t.Fatalf("%s: %d instructions, want %d", name, len(q.Insts), len(p.Insts))
+	}
+	for i := range p.Insts {
+		if p.Insts[i] != q.Insts[i] {
+			t.Fatalf("%s: instruction %d at %#x: got %v, want %v",
+				name, i, p.TextBase+uint64(i)*isa.InstBytes, q.Insts[i], p.Insts[i])
+		}
+	}
+	pd, pk := flattenData(p)
+	qd, qk := flattenData(q)
+	if len(pd) != len(qd) {
+		t.Fatalf("%s: %d data bytes, want %d", name, len(qd), len(pd))
+	}
+	for a, b := range pd {
+		if qd[a] != b {
+			t.Fatalf("%s: data byte at %#x: got %#x, want %#x", name, a, qd[a], b)
+		}
+		if qk[a] != pk[a] {
+			t.Fatalf("%s: data byte at %#x: kernel=%v, want %v", name, a, qk[a], pk[a])
+		}
+	}
+}
+
+// TestAttackSnippetRoundTrip round-trips every attack PoC, data included —
+// these are the programs ndalint and the attack matrix disagree over if the
+// encoding drifts.
+func TestAttackSnippetRoundTrip(t *testing.T) {
+	for _, k := range attack.All() {
+		p, err := attack.Program(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkRoundTrip(t, string(k), p)
+	}
+}
+
+// TestWorkloadKernelRoundTrip round-trips every workload kernel. Kernels
+// with large generated data images (some carry multi-megabyte pointer-chase
+// arenas) are round-tripped text-only: byte-listing them would dominate the
+// test for no extra instruction coverage.
+func TestWorkloadKernelRoundTrip(t *testing.T) {
+	const maxDataBytes = 1 << 20
+	for _, s := range workload.All() {
+		p := s.Build(2)
+		total := 0
+		for _, seg := range p.Data {
+			total += len(seg.Bytes)
+		}
+		if total > maxDataBytes {
+			textOnly := &isa.Program{TextBase: p.TextBase, Insts: p.Insts, Entry: p.Entry}
+			checkRoundTrip(t, s.Name+" (text only)", textOnly)
+			continue
+		}
+		checkRoundTrip(t, s.Name, p)
+	}
+}

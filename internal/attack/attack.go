@@ -121,6 +121,11 @@ type Outcome struct {
 
 	// Cycles is the total simulation length (diagnostics).
 	Cycles uint64
+
+	// SanitizerViolations counts runtime propagation-invariant violations
+	// observed by the ooo sanitizer during the run; always 0 unless
+	// Params.Sanitize was set.
+	SanitizerViolations uint64
 }
 
 func (o *Outcome) String() string {
@@ -173,7 +178,29 @@ func Run(kind Kind, pol core.Policy, params ooo.Params) (*Outcome, error) {
 	}
 	out := analyze(kind, pol.Name, s, func(addr uint64) uint64 { return c.Memory().Read(addr, 8) })
 	out.Cycles = c.Cycles()
+	out.SanitizerViolations = c.SanitizerViolations()
 	return out, nil
+}
+
+// Program returns the PoC program for static analysis (internal/gadget and
+// cmd/ndalint run the analyzer over every snippet).
+func Program(kind Kind) (*isa.Program, error) {
+	s, err := build(kind)
+	if err != nil {
+		return nil, err
+	}
+	return s.prog, nil
+}
+
+// SecretRegs returns the registers the PoC plants a secret in
+// architecturally (the §4.2 GPR-steering variants); nil for attacks whose
+// secret lives in memory or an MSR.
+func SecretRegs(kind Kind) []isa.Reg {
+	switch kind {
+	case GPRSteering, GPRSteeringSpecOff:
+		return []isa.Reg{isa.RegS5}
+	}
+	return nil
 }
 
 // RunInOrder executes the PoC on the in-order baseline core, which is

@@ -231,3 +231,58 @@ func TestRdmsrIsLoadClass(t *testing.T) {
 		t.Error("rdmsr must be load-restricted")
 	}
 }
+
+func TestBypassRestrictionMultipleStores(t *testing.T) {
+	// A load can bypass several older stores whose addresses are all still
+	// unresolved. Bypass Restriction must hold its broadcast until the LAST
+	// guard clears, and resolving them one at a time must not release it
+	// early — not even from the ROB head, where Load Restriction alone
+	// would let it go.
+	n := &Node{Class: isa.ClassLoad, Completed: true, BypassGuards: 2}
+	for _, p := range []Policy{PermissiveBR(), StrictBR(), FullProtection()} {
+		n.BypassGuards = 2
+		if !p.Unsafe(n, false) || !p.Unsafe(n, true) {
+			t.Errorf("%s: two outstanding bypass guards must restrict, head or not", p.Name)
+		}
+		n.BypassGuards-- // first store address resolves
+		if !p.Unsafe(n, false) || !p.Unsafe(n, true) {
+			t.Errorf("%s: one remaining bypass guard must still restrict", p.Name)
+		}
+		n.BypassGuards-- // last store address resolves
+		if p.Unsafe(n, true) {
+			t.Errorf("%s: all bypass guards cleared; eldest load must be releasable", p.Name)
+		}
+	}
+}
+
+func TestLoadRestrictionStatelessAfterSquash(t *testing.T) {
+	// The eldest-unretired check is positional and stateless: after a
+	// squash re-steers fetch and the load lands at the ROB head, the same
+	// node that was restricted a cycle earlier must become
+	// broadcast-eligible with no other state change — no latch may
+	// remember the earlier denial.
+	p := LoadRestrict()
+	n := &Node{Class: isa.ClassLoad, Completed: true}
+	if !p.Unsafe(n, false) {
+		t.Fatal("non-head load must be restricted")
+	}
+	if p.Unsafe(n, true) || !p.MayBroadcast(n, true) {
+		t.Error("the instant the load is eldest unretired it must broadcast")
+	}
+
+	// Under Full Protection the same flip needs the guard bit cleared too:
+	// a recompute over the post-squash ROB (no older unresolved branch
+	// left) must release the head load in one pass.
+	fp := FullProtection()
+	nodes := mkNodes("bl")
+	nodes[1].Completed = true
+	fp.RecomputeGuards(nodes)
+	if !fp.Unsafe(nodes[1], false) {
+		t.Fatal("load under an unresolved guard must be restricted")
+	}
+	post := nodes[1:] // the branch resolved and retired; load is now eldest
+	fp.RecomputeGuards(post)
+	if fp.Unsafe(post[0], true) {
+		t.Error("post-squash recompute must release the eldest guard-free load")
+	}
+}

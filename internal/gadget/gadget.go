@@ -1,0 +1,257 @@
+// Package gadget is a static speculative-leakage analyzer over isa.Program.
+//
+// It walks the control-flow graph the way the OoO front end would on a
+// mispredicted path, tracks register taint from secret-access sources
+// (loads, privileged RDMSR, attacker-designated GPRs) to transmitters
+// (dependent loads and indirect jumps), and emits the resulting gadgets —
+// the access→transmit dependence chains of the paper's §4 taxonomy:
+//
+//   - steering (§4.1): a mis-steered guard (conditional branch, indirect
+//     jump, or return) transiently executes code that accesses a secret and
+//     forwards it into a covert channel (Spectre v1/v2/ret2spec, and the
+//     §4.2 GPR variant where the secret is already register-resident).
+//   - chosen-code (§4.3): the access itself is illegal — a load from a
+//     kernel-only segment or a privileged RDMSR — and the core forwards the
+//     faulting data before the fault commits (Meltdown, LazyFP).
+//   - bypass (§4.1): a load issues past an older store whose address is not
+//     yet computed and transiently reads stale data (Spectre v4 / SSB).
+//
+// Each gadget carries a per-policy Verdict: whether the NDA propagation
+// policy (or InvisiSpec comparator) from internal/core provably cuts the
+// chain, with the reason. The verdict table is the static mirror of
+// core.Policy.Unsafe and is cross-validated against the dynamic attack
+// matrix and the runtime propagation sanitizer (internal/ooo) in tests.
+//
+// Scope and soundness notes, matching what the simulator can measure:
+//
+//   - Transmitters are d-cache fills (loads) and BTB insertions (indirect
+//     jumps), the two channels the attack harness's recover phases read.
+//     Secret-dependent conditional branches are detected but reported as
+//     advisory (Channel "branch") and excluded from program verdicts.
+//   - Stores do not transmit: the simulated d-cache installs store data at
+//     retirement, so wrong-path stores leave no trace. Memory taint through
+//     store-to-load forwarding is likewise out of scope.
+//   - The transient window is bounded by Config.Window (default: the ROB
+//     size used by ooo.DefaultParams).
+package gadget
+
+import (
+	"fmt"
+	"sort"
+
+	"nda/internal/core"
+)
+
+// Kind classifies a gadget by how the secret enters the transient chain.
+type Kind string
+
+const (
+	KindSteering   Kind = "steering"
+	KindChosenCode Kind = "chosen-code"
+	KindBypass     Kind = "bypass"
+)
+
+// Channel names the covert channel the transmitter modulates.
+type Channel string
+
+const (
+	ChannelDCache Channel = "d-cache"
+	ChannelBTB    Channel = "btb"
+	// ChannelBranch marks secret-dependent conditional branches. The
+	// simulator's recover phases do not read a directional-predictor
+	// channel, so these gadgets are advisory and excluded from program
+	// verdicts.
+	ChannelBranch Channel = "branch"
+)
+
+// Verdict is the static judgement for one gadget under one policy.
+type Verdict struct {
+	Blocked bool   `json:"blocked"`
+	Reason  string `json:"reason"`
+}
+
+// Site is one instruction location in a gadget, rendered for reports.
+type Site struct {
+	PC  uint64 `json:"pc"`
+	Asm string `json:"asm"`
+	Sym string `json:"sym,omitempty"`
+}
+
+// Gadget is one access→transmit chain.
+type Gadget struct {
+	Kind     Kind    `json:"kind"`
+	Channel  Channel `json:"channel"`
+	Advisory bool    `json:"advisory,omitempty"`
+
+	// Guard is the mis-steered branch for steering gadgets; nil otherwise.
+	Guard *Site `json:"guard,omitempty"`
+	// Source is the secret access: the load/RDMSR, or nil when the secret
+	// starts register-resident (SourceReg set instead).
+	Source    *Site  `json:"source,omitempty"`
+	SourceReg string `json:"source_reg,omitempty"`
+	// Transmit is the instruction that modulates the covert channel.
+	Transmit Site `json:"transmit"`
+	// Chain is a representative dependence path from source to transmitter
+	// (capped; for context, not exhaustive).
+	Chain []Site `json:"chain,omitempty"`
+
+	// LoadFree is set when the chain from secret to transmitter contains no
+	// load: the secret is register-resident and only ALU-processed (§4.2).
+	LoadFree bool `json:"load_free,omitempty"`
+	// DirectUse is set when the transmitter reads the secret register with
+	// no intervening producer at all — nothing for propagation policies to
+	// defer.
+	DirectUse bool `json:"direct_use,omitempty"`
+
+	// Verdicts maps policy name → static verdict.
+	Verdicts map[string]Verdict `json:"verdicts"`
+
+	depth int // fetch distance from the steering point; dedup preference
+}
+
+// Analysis is the result of analyzing one program.
+type Analysis struct {
+	Insts   int      `json:"insts"`
+	Guards  int      `json:"guards"` // speculation-live steering points examined
+	Gadgets []Gadget `json:"gadgets"`
+	// Leaks maps policy name → whether any non-advisory gadget leaks under
+	// that policy (the program-level verdict).
+	Leaks map[string]bool `json:"leaks"`
+	// LeaksByChannel resolves the verdict per covert channel ("d-cache",
+	// "btb"): the dynamic attack harness measures exactly one channel per
+	// PoC, so cross-validation compares against the matching entry. A
+	// channel with no gadgets has no entry (everything blocked).
+	LeaksByChannel map[string]map[string]bool `json:"leaks_by_channel,omitempty"`
+}
+
+// verdictFor statically mirrors core.Policy.Unsafe for one gadget: it asks
+// whether some link of the access→transmit chain provably cannot broadcast
+// (or, for InvisiSpec, whether the channel carries no signal) before the
+// transient window closes.
+func verdictFor(pol core.Policy, g *Gadget) Verdict {
+	if !pol.Secure() {
+		return Verdict{Reason: "baseline OoO: completed results broadcast immediately, so the whole chain runs transiently"}
+	}
+	switch g.Kind {
+	case KindSteering:
+		if pol.PropagationRestricted && !g.LoadFree {
+			return Verdict{Blocked: true, Reason: "a load in the chain executes under an unresolved guard; its tag broadcast is deferred until the guard resolves, and a mis-steered guard squashes first"}
+		}
+		if pol.PropagationRestricted && pol.RestrictAll && !g.DirectUse {
+			return Verdict{Blocked: true, Reason: "strict propagation defers every wrong-path producer, so the register-resident secret cannot be pre-processed for transmission before the squash"}
+		}
+		if pol.LoadRestriction && !g.LoadFree {
+			return Verdict{Blocked: true, Reason: "load restriction defers the access load's broadcast until it is eldest unretired; the older mis-steered guard resolves and squashes first"}
+		}
+		if g.Channel == ChannelDCache && pol.LoadVisibility != core.VisibleAlways {
+			return Verdict{Blocked: true, Reason: "speculative fills are invisible while the guard is unresolved, so the wrong-path access leaves no d-cache signal"}
+		}
+		switch {
+		case g.LoadFree && g.DirectUse:
+			return Verdict{Reason: "the transmitter reads the register-resident secret directly; there is no deferred producer between access and transmit"}
+		case g.LoadFree:
+			return Verdict{Reason: "the chain is load-free: only ALU producers process the register-resident secret, and this policy does not restrict them under a guard"}
+		case g.Channel == ChannelBTB:
+			return Verdict{Reason: "the BTB insertion happens at execute and is not hidden or deferred by this policy"}
+		default:
+			return Verdict{Reason: "the wrong-path load's result broadcasts before the guard resolves, waking the transmitter inside the transient window"}
+		}
+	case KindChosenCode:
+		if pol.LoadRestriction {
+			return Verdict{Blocked: true, Reason: "load restriction: the illegal access broadcasts only when eldest unretired, where its fault squashes the dependents instead"}
+		}
+		if g.Channel == ChannelDCache && pol.LoadVisibility == core.InvisibleUntilRetire {
+			return Verdict{Blocked: true, Reason: "fills are invisible until retirement and the faulting access never retires, so the transmitter leaves no d-cache signal"}
+		}
+		return Verdict{Reason: "no guard shadows the illegal access, so steering restrictions never engage and the faulting data broadcasts before the fault commits"}
+	case KindBypass:
+		if pol.BypassRestriction {
+			return Verdict{Blocked: true, Reason: "bypass restriction: the load bypassed a store with an unresolved address and defers broadcast until that address resolves, where the order violation squashes it"}
+		}
+		if pol.LoadRestriction {
+			return Verdict{Blocked: true, Reason: "load restriction: the bypassing load broadcasts only when eldest unretired, by which point the older store's address resolved and squashed it"}
+		}
+		if g.Channel == ChannelDCache && pol.LoadVisibility == core.InvisibleUntilRetire {
+			return Verdict{Blocked: true, Reason: "fills are invisible until retirement; the order-violation squash reaches the bypassing load first"}
+		}
+		return Verdict{Reason: "no branch guard shadows the bypass, so steering restrictions never engage and the stale value broadcasts before the store's address resolves"}
+	}
+	return Verdict{Reason: "unknown gadget kind"}
+}
+
+// fillVerdicts computes the per-policy verdict map for every configuration
+// in core.All.
+func fillVerdicts(g *Gadget) {
+	g.Verdicts = make(map[string]Verdict, 9)
+	for _, pol := range core.All() {
+		g.Verdicts[pol.Name] = verdictFor(pol, g)
+	}
+}
+
+// sortGadgets orders gadgets deterministically for reports and golden files.
+func sortGadgets(gs []Gadget) {
+	sort.Slice(gs, func(i, j int) bool {
+		a, b := &gs[i], &gs[j]
+		if a.Transmit.PC != b.Transmit.PC {
+			return a.Transmit.PC < b.Transmit.PC
+		}
+		if a.Kind != b.Kind {
+			return a.Kind < b.Kind
+		}
+		if a.Channel != b.Channel {
+			return a.Channel < b.Channel
+		}
+		ap, bp := sitePC(a.Source), sitePC(b.Source)
+		if ap != bp {
+			return ap < bp
+		}
+		if a.SourceReg != b.SourceReg {
+			return a.SourceReg < b.SourceReg
+		}
+		if a.LoadFree != b.LoadFree {
+			return !a.LoadFree
+		}
+		if a.DirectUse != b.DirectUse {
+			return !a.DirectUse
+		}
+		return sitePC(a.Guard) < sitePC(b.Guard)
+	})
+}
+
+func sitePC(s *Site) uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.PC
+}
+
+// String renders a one-line summary of the gadget.
+func (g *Gadget) String() string {
+	s := fmt.Sprintf("%s/%s", g.Kind, g.Channel)
+	if g.Advisory {
+		s += " (advisory)"
+	}
+	if g.Guard != nil {
+		s += fmt.Sprintf(" guard=%s", siteStr(g.Guard))
+	}
+	if g.Source != nil {
+		s += fmt.Sprintf(" source=%s", siteStr(g.Source))
+	} else if g.SourceReg != "" {
+		s += fmt.Sprintf(" source=reg:%s", g.SourceReg)
+	}
+	s += fmt.Sprintf(" transmit=%s", siteStr(&g.Transmit))
+	if g.LoadFree {
+		s += " load-free"
+	}
+	if g.DirectUse {
+		s += " direct-use"
+	}
+	return s
+}
+
+func siteStr(s *Site) string {
+	if s.Sym != "" {
+		return fmt.Sprintf("%#x<%s>", s.PC, s.Sym)
+	}
+	return fmt.Sprintf("%#x", s.PC)
+}

@@ -1,0 +1,142 @@
+package gadget_test
+
+import (
+	"reflect"
+	"testing"
+
+	"nda/internal/attack"
+	"nda/internal/core"
+	"nda/internal/gadget"
+	"nda/internal/isa"
+)
+
+func analyzeAttack(t *testing.T, k attack.Kind) *gadget.Analysis {
+	t.Helper()
+	p, err := attack.Program(k)
+	if err != nil {
+		t.Fatalf("building %s: %v", k, err)
+	}
+	return gadget.Analyze(p, gadget.Config{SecretRegs: attack.SecretRegs(k)})
+}
+
+// has reports whether the analysis found a non-advisory gadget of the given
+// kind on the given channel.
+func has(an *gadget.Analysis, kind gadget.Kind, ch gadget.Channel) bool {
+	for i := range an.Gadgets {
+		g := &an.Gadgets[i]
+		if !g.Advisory && g.Kind == kind && g.Channel == ch {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAttackVerdictsMatchTable2 is the static half of the cross-validation:
+// for every attack PoC, the analyzer's per-policy verdict on the channel the
+// PoC measures must equal Table 2's leak/block cell.
+func TestAttackVerdictsMatchTable2(t *testing.T) {
+	for _, k := range attack.All() {
+		an := analyzeAttack(t, k)
+		leaks := an.LeaksByChannel[k.Channel()]
+		exp := attack.Expected[k]
+		for _, pol := range core.All() {
+			if leaks[pol.Name] != exp[pol.Name] {
+				t.Errorf("%s under %s (%s channel): static leaks=%v, Table 2 says %v",
+					k, pol.Name, k.Channel(), leaks[pol.Name], exp[pol.Name])
+			}
+		}
+	}
+}
+
+// TestGadgetTaxonomy checks that each PoC is classified into the §4 taxonomy
+// class its construction implements.
+func TestGadgetTaxonomy(t *testing.T) {
+	cases := []struct {
+		kind attack.Kind
+		k    gadget.Kind
+		ch   gadget.Channel
+	}{
+		{attack.SpectreV1Cache, gadget.KindSteering, gadget.ChannelDCache},
+		{attack.SpectreV1BTB, gadget.KindSteering, gadget.ChannelBTB},
+		{attack.SpectreV2, gadget.KindSteering, gadget.ChannelDCache},
+		{attack.Ret2spec, gadget.KindSteering, gadget.ChannelDCache},
+		{attack.Meltdown, gadget.KindChosenCode, gadget.ChannelDCache},
+		{attack.SSB, gadget.KindBypass, gadget.ChannelDCache},
+		{attack.LazyFP, gadget.KindChosenCode, gadget.ChannelDCache},
+		{attack.GPRSteering, gadget.KindSteering, gadget.ChannelDCache},
+	}
+	for _, c := range cases {
+		an := analyzeAttack(t, c.kind)
+		if !has(an, c.k, c.ch) {
+			t.Errorf("%s: no %s/%s gadget found (got %d gadgets)", c.kind, c.k, c.ch, len(an.Gadgets))
+		}
+	}
+}
+
+// TestGPRSteeringIsLoadFree verifies the §4.2 single-gadget attack is
+// recognized as register-resident: its chain must contain no load, sourcing
+// from the designated GPR directly.
+func TestGPRSteeringIsLoadFree(t *testing.T) {
+	an := analyzeAttack(t, attack.GPRSteering)
+	found := false
+	for i := range an.Gadgets {
+		g := &an.Gadgets[i]
+		if g.Advisory || g.Kind != gadget.KindSteering {
+			continue
+		}
+		found = true
+		if !g.LoadFree {
+			t.Errorf("gpr-steering gadget must be load-free: %s", g.String())
+		}
+		if g.SourceReg != isa.RegS5.String() {
+			t.Errorf("gpr-steering source = %q, want register %s", g.SourceReg, isa.RegS5)
+		}
+	}
+	if !found {
+		t.Fatal("no steering gadget found in gpr-steering")
+	}
+}
+
+// TestSpecOffKillsSpeculationLiveness verifies the liveness pass: with the
+// victim's Listing 4 no-speculation window (specoff), no guard is
+// speculation-live across the secret use, so the analyzer must report zero
+// non-advisory gadgets — matching the empty Expected row.
+func TestSpecOffKillsSpeculationLiveness(t *testing.T) {
+	an := analyzeAttack(t, attack.GPRSteeringSpecOff)
+	for i := range an.Gadgets {
+		if !an.Gadgets[i].Advisory {
+			t.Errorf("gpr-steering-specoff must have no gadgets, found %s", an.Gadgets[i].String())
+		}
+	}
+	for pol, leaks := range an.Leaks {
+		if leaks {
+			t.Errorf("gpr-steering-specoff must not leak under %s", pol)
+		}
+	}
+}
+
+// TestAnalyzeDeterministic re-analyzes the largest PoC and requires an
+// identical result, including gadget order and chains.
+func TestAnalyzeDeterministic(t *testing.T) {
+	a := analyzeAttack(t, attack.SpectreV1BTB)
+	b := analyzeAttack(t, attack.SpectreV1BTB)
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated analysis of spectre-v1-btb differs")
+	}
+}
+
+// TestBuiltinCheckPasses is the CI gate ndalint -check runs: the full
+// built-in census must match Table 2 and keep workloads chosen-code-free.
+func TestBuiltinCheckPasses(t *testing.T) {
+	ins, err := gadget.Builtins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := gadget.BuildReport(ins, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range gadget.Check(r) {
+		t.Error(f)
+	}
+}

@@ -1,0 +1,78 @@
+package gadget_test
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nda/internal/gadget"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden census file")
+
+// TestCensusGolden builds the full JSON census twice — single-threaded and
+// with eight workers — and requires both to be byte-identical to each other
+// and to testdata/census.golden.json. The golden file pins the analyzer's
+// output across worker counts, map-iteration orders, and Go versions
+// (encoding/json sorts map keys; every slice has a deterministic sort).
+// Regenerate with: go test ./internal/gadget -run TestCensusGolden -update
+func TestCensusGolden(t *testing.T) {
+	ins, err := gadget.Builtins()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := gadget.BuildReport(ins, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j1, err := r1.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r8, err := gadget.BuildReport(ins, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j8, err := r8.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(j1, j8) {
+		t.Fatal("census JSON differs between 1 and 8 workers")
+	}
+
+	golden := filepath.Join("testdata", "census.golden.json")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, j1, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s (%d bytes)", golden, len(j1))
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update)", err)
+	}
+	if !bytes.Equal(j1, want) {
+		t.Errorf("census JSON deviates from %s at byte %d (regenerate with -update if the change is intended)",
+			golden, diffAt(j1, want))
+	}
+}
+
+func diffAt(a, b []byte) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return n
+}

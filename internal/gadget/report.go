@@ -1,0 +1,140 @@
+package gadget
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"strings"
+
+	"nda/internal/core"
+)
+
+// ProgramReport is the analysis result for one named program.
+type ProgramReport struct {
+	Name   string `json:"name"`
+	Group  string `json:"group"` // "attack" or "workload"
+	Insts  int    `json:"insts"`
+	Guards int    `json:"guards"`
+	// Counts maps "kind/channel" to the number of non-advisory gadgets.
+	Counts map[string]int `json:"counts"`
+	// Advisory counts the branch-channel findings excluded from verdicts.
+	Advisory int `json:"advisory"`
+	// Leaks maps policy name to the program-level verdict.
+	Leaks map[string]bool `json:"leaks"`
+	// ChannelLeaks resolves the verdict per covert channel (see
+	// Analysis.LeaksByChannel).
+	ChannelLeaks map[string]map[string]bool `json:"channel_leaks,omitempty"`
+	// Gadgets carries the full gadget list for attack snippets; elided for
+	// workloads, whose census is the counts above.
+	Gadgets []Gadget `json:"gadgets,omitempty"`
+}
+
+// Report is the full gadget census over a set of programs.
+type Report struct {
+	Window   int             `json:"window"`
+	Programs []ProgramReport `json:"programs"`
+}
+
+// NewProgramReport summarizes one analysis.
+func NewProgramReport(name, group string, an *Analysis, keepGadgets bool) ProgramReport {
+	pr := ProgramReport{
+		Name:         name,
+		Group:        group,
+		Insts:        an.Insts,
+		Guards:       an.Guards,
+		Counts:       map[string]int{},
+		Leaks:        an.Leaks,
+		ChannelLeaks: an.LeaksByChannel,
+	}
+	for i := range an.Gadgets {
+		g := &an.Gadgets[i]
+		if g.Advisory {
+			pr.Advisory++
+			continue
+		}
+		pr.Counts[string(g.Kind)+"/"+string(g.Channel)]++
+	}
+	if keepGadgets {
+		pr.Gadgets = an.Gadgets
+	}
+	return pr
+}
+
+// JSON renders the report deterministically (Go's encoder sorts map keys).
+func (r *Report) JSON() ([]byte, error) {
+	out, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(out, '\n'), nil
+}
+
+// policyOrder is the column order of the text census: core.All order.
+func policyOrder() []string {
+	names := make([]string, 0, 9)
+	for _, p := range core.All() {
+		names = append(names, p.Name)
+	}
+	return names
+}
+
+// Text renders a human-readable census table plus per-attack gadget detail.
+func (r *Report) Text() string {
+	var b strings.Builder
+	pols := policyOrder()
+	fmt.Fprintf(&b, "Gadget census (window = %d instructions). Columns: policies; x = some\n", r.Window)
+	fmt.Fprintf(&b, "gadget leaks under that policy, . = every gadget provably blocked.\n\n")
+	fmt.Fprintf(&b, "%-22s %6s %7s %9s %9s", "program", "insts", "guards", "gadgets", "advisory")
+	for _, p := range pols {
+		fmt.Fprintf(&b, " %8.8s", p)
+	}
+	b.WriteString("\n")
+	for _, pr := range r.Programs {
+		total := 0
+		for _, n := range pr.Counts {
+			total += n
+		}
+		fmt.Fprintf(&b, "%-22s %6d %7d %9d %9d", pr.Name, pr.Insts, pr.Guards, total, pr.Advisory)
+		for _, p := range pols {
+			mark := "."
+			if pr.Leaks[p] {
+				mark = "x"
+			}
+			fmt.Fprintf(&b, " %8s", mark)
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// Detail renders one program's full gadget list with per-policy verdicts.
+func Detail(pr *ProgramReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s (%s): %d instructions, %d live guards, %d gadgets (%d advisory)\n",
+		pr.Name, pr.Group, pr.Insts, pr.Guards, len(pr.Gadgets), pr.Advisory)
+	for i := range pr.Gadgets {
+		g := &pr.Gadgets[i]
+		fmt.Fprintf(&b, "\n  [%d] %s\n", i, g.String())
+		if len(g.Chain) > 0 {
+			b.WriteString("      chain:")
+			for _, s := range g.Chain {
+				fmt.Fprintf(&b, " %s", siteStr(&s))
+			}
+			b.WriteString("\n")
+		}
+		names := make([]string, 0, len(g.Verdicts))
+		for n := range g.Verdicts {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			v := g.Verdicts[n]
+			verdict := "LEAKS "
+			if v.Blocked {
+				verdict = "blocks"
+			}
+			fmt.Fprintf(&b, "      %-18s %s: %s\n", n, verdict, v.Reason)
+		}
+	}
+	return b.String()
+}

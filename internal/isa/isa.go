@@ -48,6 +48,20 @@ const (
 	RegA5   Reg = 15
 	RegA6   Reg = 16
 	RegA7   Reg = 17
+	RegS2   Reg = 18 // saved s2..s11 = x18..x27
+	RegS3   Reg = 19
+	RegS4   Reg = 20
+	RegS5   Reg = 21
+	RegS6   Reg = 22
+	RegS7   Reg = 23
+	RegS8   Reg = 24
+	RegS9   Reg = 25
+	RegS10  Reg = 26
+	RegS11  Reg = 27
+	RegT3   Reg = 28 // temporaries t3..t6 = x28..x31
+	RegT4   Reg = 29
+	RegT5   Reg = 30
+	RegT6   Reg = 31
 )
 
 // Valid reports whether r names an architectural register.

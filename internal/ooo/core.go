@@ -81,6 +81,13 @@ type Core struct {
 	// this cycle while an exposed load validates.
 	commitValidate uint64
 
+	// Propagation-sanitizer state (sanitizer.go); inert unless p.Sanitize.
+	sanCount       uint64
+	sanLog         []Violation
+	sanWriterMark  []uint64
+	sanWriterSeq   []uint64
+	sanWriterBcast []bool
+
 	stats Stats
 }
 

@@ -74,6 +74,12 @@ type Params struct {
 	// DeadlockCycles aborts the simulation if no instruction commits for
 	// this many consecutive cycles (a simulator bug guard).
 	DeadlockCycles uint64
+
+	// Sanitize enables the per-cycle propagation sanitizer (sanitizer.go):
+	// an oracle asserting that no consumer issues on a value whose producer
+	// was unsafe at broadcast-defer time. Costs a ROB scan per cycle; used
+	// by the static/dynamic cross-validation tests.
+	Sanitize bool
 }
 
 // DefaultParams returns the Table 3 configuration.

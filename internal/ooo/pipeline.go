@@ -23,11 +23,13 @@ func (c *Core) Step() error {
 		return err
 	}
 	if c.halted {
+		c.checkInvariants()
 		return nil
 	}
 	c.issueStage()
 	c.dispatchStage()
 	c.fetchStage()
+	c.checkInvariants()
 
 	if c.cycle-c.lastCommit > c.p.DeadlockCycles {
 		head := "empty"

@@ -1,0 +1,127 @@
+package ooo
+
+import "fmt"
+
+// The propagation sanitizer is a per-cycle oracle for the NDA invariant the
+// whole defense rests on (paper §5): a value produced by an instruction that
+// is unsafe under the active policy must not wake or feed any consumer until
+// the instruction becomes safe and its tag is broadcast. The checks run over
+// architecturally visible simulator state only — they recompute nothing from
+// the policy's internals beyond core.Policy.Unsafe — so a bug in either the
+// pipeline's broadcast plumbing or the policy bookkeeping trips them.
+//
+// Enabled by Params.Sanitize; off by default because the checks cost a ROB
+// scan per cycle. cmd/ndalint's cross-validation tests and the workload
+// sanity tests run with it on.
+//
+// Checks, at the end of every cycle:
+//
+//  1. ready-without-broadcast: no in-flight producer's destination physical
+//     register is marked ready before the producer's tag broadcast. The
+//     broadcast is the single point NDA defers, so a ready bit appearing any
+//     other way is a propagation leak.
+//  2. unsafe-broadcast: no instruction whose tag broadcast happened this
+//     cycle is still unsafe under the policy at end of cycle. Guards only
+//     resolve (never un-resolve) and bypass guards only drop within a
+//     cycle, so an end-of-cycle unsafe verdict proves the broadcast-time
+//     one.
+//  3. issued-before-broadcast: no instruction that entered execution this
+//     cycle has an in-flight older producer (for any of its source
+//     operands; store data is read at forwarding/commit time, not issue)
+//     whose tag has not been broadcast.
+
+// Violation is one sanitizer finding.
+type Violation struct {
+	Cycle  uint64
+	Check  string
+	PC     uint64
+	Seq    uint64
+	Detail string
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("cycle %d: %s at pc=%#x seq=%d: %s", v.Cycle, v.Check, v.PC, v.Seq, v.Detail)
+}
+
+// maxSanitizerLog bounds the retained violation records; the count is exact.
+const maxSanitizerLog = 32
+
+// SanitizerViolations returns how many invariant violations the sanitizer
+// observed (0 when Params.Sanitize is off).
+func (c *Core) SanitizerViolations() uint64 { return c.sanCount }
+
+// SanitizerLog returns up to maxSanitizerLog retained violations.
+func (c *Core) SanitizerLog() []Violation { return c.sanLog }
+
+func (c *Core) sanViolate(check string, pc, seq uint64, format string, args ...any) {
+	c.sanCount++
+	if len(c.sanLog) < maxSanitizerLog {
+		c.sanLog = append(c.sanLog, Violation{
+			Cycle: c.cycle, Check: check, PC: pc, Seq: seq,
+			Detail: fmt.Sprintf(format, args...),
+		})
+	}
+}
+
+// checkInvariants runs the three checks over the ROB. Called at the end of
+// Step (both the halted early-exit and the normal path).
+func (c *Core) checkInvariants() {
+	if !c.p.Sanitize {
+		return
+	}
+	if c.sanWriterMark == nil {
+		c.sanWriterMark = make([]uint64, c.p.PhysRegs)
+		c.sanWriterSeq = make([]uint64, c.p.PhysRegs)
+		c.sanWriterBcast = make([]bool, c.p.PhysRegs)
+	}
+
+	// Pass 1: per-producer checks, and index the in-flight writer of every
+	// destination physical register (unique: the free list hands each preg
+	// to at most one in-flight instruction).
+	for i := 0; i < c.robLen; i++ {
+		e := c.robAt(i)
+		if e.DestP == noPReg {
+			continue
+		}
+		c.sanWriterMark[e.DestP] = c.cycle
+		c.sanWriterSeq[e.DestP] = e.Seq
+		c.sanWriterBcast[e.DestP] = e.Node.Broadcast
+		if !e.Node.Broadcast && c.regReady[e.DestP] {
+			c.sanViolate("ready-without-broadcast", e.PC, e.Seq,
+				"p%d is ready but %v has not broadcast (completed=%v)",
+				e.DestP, e.Inst, e.Node.Completed)
+		}
+		if e.Node.Broadcast && e.BcastCycle == c.cycle &&
+			c.policy.Unsafe(&e.Node, c.atHead(e)) {
+			c.sanViolate("unsafe-broadcast", e.PC, e.Seq,
+				"%v broadcast this cycle while unsafe under %s (underGuard=%v bypassGuards=%d class=%d)",
+				e.Inst, c.policy.Name, e.Node.UnderGuard, e.Node.BypassGuards, e.Node.Class)
+		}
+	}
+
+	// Pass 2: consumers that entered execution this cycle.
+	for i := 0; i < c.robLen; i++ {
+		e := c.robAt(i)
+		if !e.Issued || e.IssuedAt != c.cycle {
+			continue
+		}
+		c.sanCheckSource(e, e.Src1P)
+		if !e.Inst.IsStore() {
+			c.sanCheckSource(e, e.Src2P)
+		}
+	}
+}
+
+func (c *Core) sanCheckSource(e *Entry, src int) {
+	if src == noPReg {
+		return
+	}
+	if c.sanWriterMark[src] != c.cycle {
+		return // producer already retired: broadcast long done
+	}
+	if c.sanWriterSeq[src] < e.Seq && !c.sanWriterBcast[src] {
+		c.sanViolate("issued-before-broadcast", e.PC, e.Seq,
+			"%v issued reading p%d before its producer (seq %d) broadcast",
+			e.Inst, src, c.sanWriterSeq[src])
+	}
+}
