@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke vet lint fmt fmt-check ci
+.PHONY: build test race bench-smoke serve-smoke vet lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -22,6 +22,11 @@ race:
 ## gate — exercises each experiment driver without letting noise block CI
 bench-smoke:
 	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+
+## serve-smoke: black-box check of the ndaserve HTTP API — health, a quick
+## sweep, byte-identical cache reuse, graceful SIGTERM drain
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 ## vet: static analysis
 vet:
@@ -43,4 +48,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke
+ci: build test lint fmt-check race bench-smoke serve-smoke

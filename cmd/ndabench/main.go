@@ -5,6 +5,7 @@
 //	ndabench -quick             # reduced sampling for a fast smoke run
 //	ndabench -experiments fig7,table2
 //	ndabench -workloads mcf,gcc,bwaves
+//	ndabench -timeout 5m        # abort (with cores stopped mid-cell) after 5 minutes
 package main
 
 import (
@@ -14,10 +15,10 @@ import (
 	"os"
 	"strings"
 
+	"nda/internal/cliutil"
 	"nda/internal/core"
 	"nda/internal/harness"
 	"nda/internal/ooo"
-	"nda/internal/workload"
 )
 
 func main() {
@@ -29,8 +30,15 @@ func main() {
 		jsonOut     = flag.String("json", "", "also write the raw sweep measurements to this file as JSON")
 		checkpoints = flag.Bool("checkpoints", false, "sample via functional-fast-forward checkpoints (Lapidary/SMARTS style)")
 		workers     = flag.Int("workers", 0, "parallel simulation workers (0 = one per CPU); results are identical for any value")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); SIGINT/SIGTERM cancel the same way")
 	)
 	flag.Parse()
+
+	// The context reaches every simulation core: on timeout or signal,
+	// queued cells never start, in-flight cells stop within a few thousand
+	// simulated cycles, and no further progress lines are printed.
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
 
 	cfg := harness.DefaultConfig()
 	if *quick {
@@ -39,15 +47,8 @@ func main() {
 	cfg.UseCheckpoints = *checkpoints
 	cfg.Workers = *workers
 
-	specs := workload.SPEC()
-	if *workloads != "" {
-		specs = nil
-		for _, name := range strings.Split(*workloads, ",") {
-			s, err := workload.ByName(strings.TrimSpace(name))
-			check(err)
-			specs = append(specs, s)
-		}
-	}
+	specs, err := cliutil.Specs(*workloads)
+	check(err)
 
 	want := map[string]bool{}
 	for _, e := range strings.Split(*experiments, ",") {
@@ -69,8 +70,7 @@ func main() {
 		if *verbose {
 			progress = func(s string) { fmt.Fprintln(os.Stderr, s) }
 		}
-		var err error
-		sw, err = harness.RunSweep(specs, core.All(), true, cfg, progress)
+		sw, err = harness.RunSweepCtx(ctx, specs, core.All(), true, cfg, progress)
 		check(err)
 	}
 	if sw != nil && *jsonOut != "" {
@@ -99,15 +99,10 @@ func main() {
 				names = append(names, s.Name)
 			}
 		}
-		rs, err := harness.RunFig9e("Permissive", []int{0, 1, 2}, names, cfg)
+		rs, err := harness.RunFig9eCtx(ctx, "Permissive", []int{0, 1, 2}, names, cfg)
 		check(err)
 		fmt.Println(harness.RenderFig9e(rs))
 	}
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ndabench:", err)
-		os.Exit(1)
-	}
-}
+func check(err error) { cliutil.Check("ndabench", err) }

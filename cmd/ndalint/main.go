@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 
+	"nda/internal/cliutil"
 	"nda/internal/gadget"
 )
 
@@ -77,9 +78,4 @@ func main() {
 	}
 }
 
-func checkErr(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ndalint:", err)
-		os.Exit(1)
-	}
-}
+func checkErr(err error) { cliutil.Check("ndalint", err) }

@@ -1,0 +1,78 @@
+// Command ndaserve runs the simulator as a long-lived HTTP service: a job
+// queue with backpressure, a content-addressed result cache that serves
+// repeated sweeps, attack matrices, and gadget censuses without
+// re-simulation, and Prometheus-style metrics.
+//
+//	ndaserve                          # listen on :8090
+//	ndaserve -addr :9000 -queue 32 -job-workers 4
+//
+//	curl localhost:8090/healthz
+//	curl -X POST 'localhost:8090/v1/sweep?wait=1' -d '{"workloads":["gcc"],"sampling":{"quick":true}}'
+//	curl -X POST localhost:8090/v1/attack -d '{"attacks":["meltdown"]}'
+//	curl localhost:8090/v1/jobs/job-000002
+//	curl localhost:8090/metrics
+//
+// On SIGINT/SIGTERM the server stops accepting work and drains: queued and
+// in-flight jobs finish (bounded by -drain-timeout, after which they are
+// cancelled), then the process exits.
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"time"
+
+	"nda/internal/cliutil"
+	"nda/internal/serve"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8090", "listen address")
+		queueDepth   = flag.Int("queue", 16, "bounded job queue depth; a full queue answers 429")
+		jobWorkers   = flag.Int("job-workers", 2, "jobs executing concurrently")
+		simWorkers   = flag.Int("sim-workers", 0, "simulation goroutines per job (0 = one per CPU)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for jobs to drain before cancelling them")
+	)
+	flag.Parse()
+
+	mgr := serve.NewManager(serve.Config{
+		QueueDepth: *queueDepth,
+		JobWorkers: *jobWorkers,
+		SimWorkers: *simWorkers,
+	})
+	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+
+	// The signal context governs the serving phase only: once it fires we
+	// stop listening, then drain the manager on its own budget.
+	ctx, stop := cliutil.Context(0)
+	defer stop()
+
+	errCh := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "ndaserve: listening on %s\n", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errCh:
+		cliutil.Check("ndaserve", err)
+	case <-ctx.Done():
+	}
+
+	fmt.Fprintln(os.Stderr, "ndaserve: draining (new submissions rejected)...")
+	drainCtx, cancel := cliutil.Context(*drainTimeout)
+	defer cancel()
+	// Stop accepting connections first, then drain jobs.
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "ndaserve: http shutdown: %v\n", err)
+	}
+	if err := mgr.Shutdown(drainCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "ndaserve: drain incomplete, jobs cancelled: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "ndaserve: drained cleanly")
+}

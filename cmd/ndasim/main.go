@@ -16,6 +16,7 @@ import (
 	"os"
 
 	"nda/internal/asm"
+	"nda/internal/cliutil"
 	"nda/internal/core"
 	"nda/internal/inorder"
 	"nda/internal/isa"
@@ -159,7 +160,4 @@ func pct(n, d uint64) float64 {
 	return 100 * float64(n) / float64(d)
 }
 
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "ndasim:", err)
-	os.Exit(1)
-}
+func fatal(err error) { cliutil.Check("ndasim", err) }

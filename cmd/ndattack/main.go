@@ -9,11 +9,13 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
 	"nda/internal/attack"
+	"nda/internal/cliutil"
 	"nda/internal/core"
 	"nda/internal/harness"
 	"nda/internal/ooo"
@@ -28,19 +30,25 @@ func main() {
 		attackName = flag.String("attack", "", "run one attack (spectre-v1-cache, spectre-v1-btb, meltdown, ssb, lazyfp-rdmsr, gpr-steering)")
 		policyName = flag.String("policy", "OoO", "policy for -attack")
 		workers    = flag.Int("workers", 0, "parallel matrix workers (0 = one per CPU); verdicts are identical for any value")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); SIGINT/SIGTERM cancel the same way")
 	)
 	flag.Parse()
 	params := ooo.DefaultParams()
 
+	// The context reaches every PoC core: on timeout or signal, queued
+	// matrix cells never start and in-flight PoCs stop mid-simulation.
+	ctx, cancel := cliutil.Context(*timeout)
+	defer cancel()
+
 	ran := false
 	if *matrix {
-		runMatrix(params, *workers)
+		runMatrix(ctx, params, *workers)
 		ran = true
 	}
 	if *fig4 {
 		fmt.Println("Fig. 4 — Spectre v1 on insecure OoO (cycles per guess; dip = leaked byte)")
-		series(attack.SpectreV1Cache, core.Baseline(), params)
-		series(attack.SpectreV1BTB, core.Baseline(), params)
+		series(ctx, attack.SpectreV1Cache, core.Baseline(), params)
+		series(ctx, attack.SpectreV1BTB, core.Baseline(), params)
 		ran = true
 	}
 	if *fig5 {
@@ -51,14 +59,14 @@ func main() {
 	}
 	if *fig8 {
 		fmt.Println("Fig. 8 — Spectre v1 under NDA permissive propagation (series flat: no leak)")
-		series(attack.SpectreV1Cache, core.Permissive(), params)
-		series(attack.SpectreV1BTB, core.Permissive(), params)
+		series(ctx, attack.SpectreV1Cache, core.Permissive(), params)
+		series(ctx, attack.SpectreV1BTB, core.Permissive(), params)
 		ran = true
 	}
 	if *attackName != "" {
 		pol, err := core.ByName(*policyName)
 		check(err)
-		out, err := attack.Run(attack.Kind(*attackName), pol, params)
+		out, err := attack.RunCtx(ctx, attack.Kind(*attackName), pol, params)
 		check(err)
 		fmt.Println(out)
 		plot(out)
@@ -70,8 +78,8 @@ func main() {
 	}
 }
 
-func runMatrix(params ooo.Params, workers int) {
-	cells, err := attack.MatrixParallel(params, workers)
+func runMatrix(ctx context.Context, params ooo.Params, workers int) {
+	cells, err := attack.MatrixCtx(ctx, params, workers)
 	check(err)
 	fmt.Println("Attack x configuration matrix (paper Table 2 security columns).")
 	fmt.Println("LEAKED = secret byte recovered; blocked = timing series flat.")
@@ -122,8 +130,8 @@ func runMatrix(params ooo.Params, workers int) {
 	}
 }
 
-func series(kind attack.Kind, pol core.Policy, params ooo.Params) {
-	out, err := attack.Run(kind, pol, params)
+func series(ctx context.Context, kind attack.Kind, pol core.Policy, params ooo.Params) {
+	out, err := attack.RunCtx(ctx, kind, pol, params)
 	check(err)
 	fmt.Println()
 	fmt.Println(out)
@@ -167,9 +175,4 @@ func bars(n int) string {
 	return s
 }
 
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "ndattack:", err)
-		os.Exit(1)
-	}
-}
+func check(err error) { cliutil.Check("ndattack", err) }

@@ -24,6 +24,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -165,15 +166,25 @@ func build(kind Kind) (*spec, error) {
 // the timing series. Params usually come from ooo.DefaultParams (with
 // MeltdownVulnerable true, the paper's baseline hardware).
 func Run(kind Kind, pol core.Policy, params ooo.Params) (*Outcome, error) {
+	return RunCtx(context.Background(), kind, pol, params)
+}
+
+// RunCtx is Run with cancellation: the core polls ctx.Done() while it runs,
+// so a timeout or job cancellation stops the PoC mid-simulation.
+func RunCtx(ctx context.Context, kind Kind, pol core.Policy, params ooo.Params) (*Outcome, error) {
 	s, err := build(kind)
 	if err != nil {
 		return nil, err
 	}
 	c := ooo.NewFromProgram(s.prog, pol, params)
+	c.Cancel = ctx.Done()
 	if s.setup != nil {
 		s.setup(c)
 	}
 	if err := c.Run(30_000_000); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("attack %s under %s: %w", kind, pol.Name, err)
 	}
 	out := analyze(kind, pol.Name, s, func(addr uint64) uint64 { return c.Memory().Read(addr, 8) })
@@ -206,15 +217,24 @@ func SecretRegs(kind Kind) []isa.Reg {
 // RunInOrder executes the PoC on the in-order baseline core, which is
 // trivially immune: there is no wrong path at all.
 func RunInOrder(kind Kind) (*Outcome, error) {
+	return RunInOrderCtx(context.Background(), kind)
+}
+
+// RunInOrderCtx is RunInOrder with cancellation (see RunCtx).
+func RunInOrderCtx(ctx context.Context, kind Kind) (*Outcome, error) {
 	s, err := build(kind)
 	if err != nil {
 		return nil, err
 	}
 	m := inorder.NewFromProgram(s.prog, inorder.DefaultParams())
+	m.Cancel = ctx.Done()
 	if s.setupInOrder != nil {
 		s.setupInOrder(m)
 	}
 	if err := m.Run(100_000_000); err != nil {
+		if cerr := ctx.Err(); cerr != nil {
+			return nil, cerr
+		}
 		return nil, fmt.Errorf("attack %s in-order: %w", kind, err)
 	}
 	out := analyze(kind, "In-Order", s, func(addr uint64) uint64 { return m.Emu().Mem.Read(addr, 8) })

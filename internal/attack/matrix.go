@@ -1,6 +1,7 @@
 package attack
 
 import (
+	"context"
 	"fmt"
 
 	"nda/internal/core"
@@ -103,24 +104,37 @@ func Matrix(params ooo.Params) ([]Cell, error) {
 // returned grid is identical — in content and order — for any worker
 // count.
 func MatrixParallel(params ooo.Params, workers int) ([]Cell, error) {
+	return MatrixCtx(context.Background(), params, workers)
+}
+
+// MatrixCtx is MatrixParallel with cancellation: once ctx is done, no
+// queued (attack, policy) cell starts and in-flight PoCs stop
+// mid-simulation; the ctx error is returned unless a cell failed first.
+func MatrixCtx(ctx context.Context, params ooo.Params, workers int) ([]Cell, error) {
 	kinds := All()
 	pols := core.All()
 	perKind := len(pols) + 1 // every policy, then the in-order core
 	cells := make([]Cell, len(kinds)*perKind)
-	err := par.Run(len(cells), workers, func(i int) error {
+	err := par.RunCtx(ctx, len(cells), workers, func(i int) error {
 		kind := kinds[i/perKind]
 		pi := i % perKind
 		if pi == len(pols) {
-			out, err := RunInOrder(kind)
+			out, err := RunInOrderCtx(ctx, kind)
 			if err != nil {
+				if cerr := ctx.Err(); cerr != nil {
+					return cerr
+				}
 				return fmt.Errorf("matrix: %w", err)
 			}
 			cells[i] = Cell{Attack: kind, Policy: "In-Order", Outcome: out, Expected: false}
 			return nil
 		}
 		pol := pols[pi]
-		out, err := Run(kind, pol, params)
+		out, err := RunCtx(ctx, kind, pol, params)
 		if err != nil {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
 			return fmt.Errorf("matrix: %w", err)
 		}
 		cells[i] = Cell{

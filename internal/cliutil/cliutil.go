@@ -1,0 +1,71 @@
+// Package cliutil is the config plumbing the cmd/ binaries share: signal-
+// and timeout-aware contexts, workload-list parsing, and uniform fatal
+// error reporting. Keeping it in one place means every driver cancels the
+// same way (SIGINT/SIGTERM and -timeout both flow into one context that
+// the simulation cores poll) and spells errors the same way.
+package cliutil
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"nda/internal/workload"
+)
+
+// Context returns a context cancelled by SIGINT/SIGTERM and, when timeout
+// is positive, by the deadline. The returned stop function releases the
+// signal handler; call it when the run finishes.
+func Context(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	if timeout <= 0 {
+		return ctx, stop
+	}
+	ctx, cancel := context.WithTimeout(ctx, timeout)
+	return ctx, func() {
+		cancel()
+		stop()
+	}
+}
+
+// Specs resolves a comma-separated workload list; the empty string means
+// every SPEC CPU 2017 proxy.
+func Specs(csv string) ([]workload.Spec, error) {
+	if csv == "" {
+		return workload.SPEC(), nil
+	}
+	var specs []workload.Spec
+	for _, name := range strings.Split(csv, ",") {
+		s, err := workload.ByName(strings.TrimSpace(name))
+		if err != nil {
+			return nil, err
+		}
+		specs = append(specs, s)
+	}
+	return specs, nil
+}
+
+// ExplainErr rewrites context cancellation errors into the message the
+// drivers print ("timed out" / "interrupted"); other errors pass through.
+func ExplainErr(err error) error {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		return errors.New("timed out (-timeout exceeded); partial work discarded")
+	case errors.Is(err, context.Canceled):
+		return errors.New("interrupted; partial work discarded")
+	}
+	return err
+}
+
+// Check exits with "tool: err" on a non-nil error.
+func Check(tool string, err error) {
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "%s: %v\n", tool, ExplainErr(err))
+		os.Exit(1)
+	}
+}

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 
 	"nda/internal/checkpoint"
@@ -24,20 +25,22 @@ import (
 // Every sample is an independent simulation seeded entirely by its
 // checkpoint (restoring clones the checkpoint's memory), so the samples of
 // one measurement fan out over cfg.Workers goroutines, and one workload's
-// series is shared read-only by every policy's measurement of it.
+// series is shared read-only by every policy's measurement of it — or, via
+// internal/serve's content-addressed cache, by every *request* that ever
+// asks for that (workload, sampling spec) again.
 
-// sampleSeries is a workload's sampling points: the generated program plus
+// SampleSeries is a workload's sampling points: the generated program plus
 // the checkpoints the timing cores restore from. It is immutable once
 // taken, so any number of concurrent measurements may share it.
-type sampleSeries struct {
+type SampleSeries struct {
 	prog *isa.Program
 	cps  []*checkpoint.Checkpoint
 }
 
-// takeSamples builds the workload's program and captures cfg.Intervals
+// TakeSamples builds the workload's program and captures cfg.Intervals
 // checkpoints starting after cfg.WarmInsts instructions, spaced
 // cfg.CheckpointStride apart (0 = 10x the warm+measure window).
-func takeSamples(spec workload.Spec, cfg Config) (*sampleSeries, error) {
+func TakeSamples(spec workload.Spec, cfg Config) (*SampleSeries, error) {
 	prog := spec.Build(hugeIters)
 	stride := cfg.CheckpointStride
 	if stride == 0 {
@@ -47,7 +50,7 @@ func takeSamples(spec workload.Spec, cfg Config) (*sampleSeries, error) {
 	if err != nil {
 		return nil, fmt.Errorf("harness: %s checkpoints: %w", spec.Name, err)
 	}
-	return &sampleSeries{prog: prog, cps: cps}, nil
+	return &SampleSeries{prog: prog, cps: cps}, nil
 }
 
 // oooSample is one detailed-simulation sample, snapshotted by value so the
@@ -57,20 +60,22 @@ type oooSample struct {
 	s   ooo.Stats
 }
 
-// measureOoOSamples runs the timing samples of one (workload, policy) cell
+// MeasureOoOSamples runs the timing samples of one (workload, policy) cell
 // over the shared series, up to cfg.Workers at a time, and folds them in
 // sample order — the fold is identical no matter which samples finish
-// first.
-func measureOoOSamples(spec workload.Spec, pol core.Policy, cfg Config, ss *sampleSeries) (*Measurement, error) {
+// first. Cancellation: queued samples stop starting and running cores stop
+// mid-simulation once ctx is done.
+func MeasureOoOSamples(ctx context.Context, spec workload.Spec, pol core.Policy, cfg Config, ss *SampleSeries) (*Measurement, error) {
 	out := make([]oooSample, len(ss.cps))
-	err := par.Run(len(ss.cps), cfg.workerCount(), func(i int) error {
+	err := par.RunCtx(ctx, len(ss.cps), cfg.workerCount(), func(i int) error {
 		c := ss.cps[i].OoO(ss.prog, pol, cfg.Params)
+		c.Cancel = ctx.Done()
 		if err := c.RunInsts(cfg.WarmInsts, cfg.MaxCycles); err != nil {
-			return fmt.Errorf("harness: %s/%s sample %d warm-up: %w", spec.Name, pol.Name, i, err)
+			return ctxErr(ctx, fmt.Errorf("harness: %s/%s sample %d warm-up: %w", spec.Name, pol.Name, i, err))
 		}
 		c.ResetStats()
 		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
-			return fmt.Errorf("harness: %s/%s sample %d: %w", spec.Name, pol.Name, i, err)
+			return ctxErr(ctx, fmt.Errorf("harness: %s/%s sample %d: %w", spec.Name, pol.Name, i, err))
 		}
 		s := *c.Stats()
 		out[i] = oooSample{cpi: s.CPI(), s: s}
@@ -96,11 +101,11 @@ func measureOoOSamples(spec workload.Spec, pol core.Policy, cfg Config, ss *samp
 // detailed instructions and measured for cfg.MeasureInsts, run up to
 // cfg.Workers at a time).
 func MeasureOoOCheckpointed(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
-	ss, err := takeSamples(spec, cfg)
+	ss, err := TakeSamples(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return measureOoOSamples(spec, pol, cfg, ss)
+	return MeasureOoOSamples(context.Background(), spec, pol, cfg, ss)
 }
 
 // inOrderSample mirrors oooSample for the blocking core.
@@ -109,17 +114,18 @@ type inOrderSample struct {
 	cycles, committed, mlpSum, mlpCyc, ilpSum, ilpCyc uint64
 }
 
-// measureInOrderSamples is the in-order counterpart of measureOoOSamples.
-func measureInOrderSamples(spec workload.Spec, cfg Config, ss *sampleSeries) (*Measurement, error) {
+// MeasureInOrderSamples is the in-order counterpart of MeasureOoOSamples.
+func MeasureInOrderSamples(ctx context.Context, spec workload.Spec, cfg Config, ss *SampleSeries) (*Measurement, error) {
 	out := make([]inOrderSample, len(ss.cps))
-	err := par.Run(len(ss.cps), cfg.workerCount(), func(i int) error {
+	err := par.RunCtx(ctx, len(ss.cps), cfg.workerCount(), func(i int) error {
 		c := ss.cps[i].InOrder(ss.prog, cfg.IOParams)
+		c.Cancel = ctx.Done()
 		if err := c.RunInsts(cfg.WarmInsts); err != nil {
-			return fmt.Errorf("harness: %s/in-order sample %d warm-up: %w", spec.Name, i, err)
+			return ctxErr(ctx, fmt.Errorf("harness: %s/in-order sample %d warm-up: %w", spec.Name, i, err))
 		}
 		c.ResetStats()
 		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
-			return fmt.Errorf("harness: %s/in-order sample %d: %w", spec.Name, i, err)
+			return ctxErr(ctx, fmt.Errorf("harness: %s/in-order sample %d: %w", spec.Name, i, err))
 		}
 		s := c.Stats()
 		out[i] = inOrderSample{
@@ -160,9 +166,9 @@ func measureInOrderSamples(spec workload.Spec, cfg Config, ss *sampleSeries) (*M
 // MeasureInOrderCheckpointed is the in-order counterpart of
 // MeasureOoOCheckpointed.
 func MeasureInOrderCheckpointed(spec workload.Spec, cfg Config) (*Measurement, error) {
-	ss, err := takeSamples(spec, cfg)
+	ss, err := TakeSamples(spec, cfg)
 	if err != nil {
 		return nil, err
 	}
-	return measureInOrderSamples(spec, cfg, ss)
+	return MeasureInOrderSamples(context.Background(), spec, cfg, ss)
 }

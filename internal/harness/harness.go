@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -104,12 +105,30 @@ type Measurement struct {
 // by instruction budget.
 const hugeIters = 1 << 40
 
+// ctxErr prefers the context's error once the context is done: the cores
+// surface cancellation as ooo.ErrCancelled, but callers want the standard
+// context.Canceled / context.DeadlineExceeded identity back.
+func ctxErr(ctx context.Context, err error) error {
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	return err
+}
+
 // MeasureOoO runs one benchmark under one policy.
 func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
+	return MeasureOoOCtx(context.Background(), spec, pol, cfg)
+}
+
+// MeasureOoOCtx is MeasureOoO with cancellation: the core polls ctx.Done()
+// while it runs, so a timeout or job cancellation stops the simulation
+// mid-interval rather than after the cell completes.
+func MeasureOoOCtx(ctx context.Context, spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, error) {
 	prog := spec.Build(hugeIters)
 	c := ooo.NewFromProgram(prog, pol, cfg.Params)
+	c.Cancel = ctx.Done()
 	if err := c.RunInsts(cfg.WarmInsts, cfg.MaxCycles); err != nil {
-		return nil, fmt.Errorf("harness: %s/%s warm-up: %w", spec.Name, pol.Name, err)
+		return nil, ctxErr(ctx, fmt.Errorf("harness: %s/%s warm-up: %w", spec.Name, pol.Name, err))
 	}
 
 	m := &Measurement{Workload: spec.Name, Config: pol.Name}
@@ -118,7 +137,7 @@ func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, 
 	for i := 0; i < cfg.Intervals; i++ {
 		c.ResetStats()
 		if err := c.RunInsts(cfg.MeasureInsts, cfg.MaxCycles); err != nil {
-			return nil, fmt.Errorf("harness: %s/%s interval %d: %w", spec.Name, pol.Name, i, err)
+			return nil, ctxErr(ctx, fmt.Errorf("harness: %s/%s interval %d: %w", spec.Name, pol.Name, i, err))
 		}
 		s := *c.Stats()
 		cpis = append(cpis, s.CPI())
@@ -126,7 +145,7 @@ func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, 
 		if i < cfg.Intervals-1 && cfg.SkipInsts > 0 {
 			c.ResetStats()
 			if err := c.RunInsts(cfg.SkipInsts, cfg.MaxCycles); err != nil {
-				return nil, fmt.Errorf("harness: %s/%s skip %d: %w", spec.Name, pol.Name, i, err)
+				return nil, ctxErr(ctx, fmt.Errorf("harness: %s/%s skip %d: %w", spec.Name, pol.Name, i, err))
 			}
 		}
 	}
@@ -137,10 +156,16 @@ func MeasureOoO(spec workload.Spec, pol core.Policy, cfg Config) (*Measurement, 
 
 // MeasureInOrder runs one benchmark on the in-order core.
 func MeasureInOrder(spec workload.Spec, cfg Config) (*Measurement, error) {
+	return MeasureInOrderCtx(context.Background(), spec, cfg)
+}
+
+// MeasureInOrderCtx is MeasureInOrder with cancellation (see MeasureOoOCtx).
+func MeasureInOrderCtx(ctx context.Context, spec workload.Spec, cfg Config) (*Measurement, error) {
 	prog := spec.Build(hugeIters)
 	c := inorder.NewFromProgram(prog, cfg.IOParams)
+	c.Cancel = ctx.Done()
 	if err := c.RunInsts(cfg.WarmInsts); err != nil {
-		return nil, fmt.Errorf("harness: %s/in-order warm-up: %w", spec.Name, err)
+		return nil, ctxErr(ctx, fmt.Errorf("harness: %s/in-order warm-up: %w", spec.Name, err))
 	}
 	m := &Measurement{Workload: spec.Name, Config: InOrderName}
 	var cpis []float64
@@ -149,7 +174,7 @@ func MeasureInOrder(spec workload.Spec, cfg Config) (*Measurement, error) {
 	for i := 0; i < cfg.Intervals; i++ {
 		c.ResetStats()
 		if err := c.RunInsts(cfg.MeasureInsts); err != nil {
-			return nil, err
+			return nil, ctxErr(ctx, err)
 		}
 		s := c.Stats()
 		cpis = append(cpis, s.CPI())
@@ -162,7 +187,7 @@ func MeasureInOrder(spec workload.Spec, cfg Config) (*Measurement, error) {
 		if i < cfg.Intervals-1 && cfg.SkipInsts > 0 {
 			c.ResetStats()
 			if err := c.RunInsts(cfg.SkipInsts); err != nil {
-				return nil, err
+				return nil, ctxErr(ctx, err)
 			}
 		}
 	}
@@ -288,6 +313,14 @@ type cellJob struct {
 // checkpoint series — and results land in index-addressed slots, so the
 // returned Sweep is bit-identical for any worker count.
 func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool, cfg Config, progress func(string)) (*Sweep, error) {
+	return RunSweepCtx(context.Background(), specs, policies, includeInOrder, cfg, progress)
+}
+
+// RunSweepCtx is RunSweep with cancellation: once ctx is done, no queued
+// cell starts, in-flight cells stop mid-simulation (the cores poll
+// ctx.Done()), no further progress lines are emitted, and the ctx error is
+// returned. Job errors from cells that ran take precedence.
+func RunSweepCtx(ctx context.Context, specs []workload.Spec, policies []core.Policy, includeInOrder bool, cfg Config, progress func(string)) (*Sweep, error) {
 	sw := &Sweep{Cells: make(map[string]map[string]*Measurement)}
 	for _, spec := range specs {
 		sw.Workloads = append(sw.Workloads, spec.Name)
@@ -303,10 +336,10 @@ func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool
 	// so each workload's series is captured once (in parallel) and shared
 	// read-only by all of its cells; restoring clones the memory, so the
 	// series itself is never written after this phase.
-	var series []*sampleSeries
+	var series []*SampleSeries
 	var seriesLeft []atomic.Int64 // cells still to run per workload
 	if cfg.UseCheckpoints {
-		series = make([]*sampleSeries, len(specs))
+		series = make([]*SampleSeries, len(specs))
 		seriesLeft = make([]atomic.Int64, len(specs))
 		perWorkload := int64(len(policies))
 		if includeInOrder {
@@ -315,8 +348,8 @@ func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool
 		for i := range seriesLeft {
 			seriesLeft[i].Store(perWorkload)
 		}
-		if err := par.Run(len(specs), cfg.workerCount(), func(i int) error {
-			ss, err := takeSamples(specs[i], cfg)
+		if err := par.RunCtx(ctx, len(specs), cfg.workerCount(), func(i int) error {
+			ss, err := TakeSamples(specs[i], cfg)
 			if err != nil {
 				return err
 			}
@@ -356,22 +389,30 @@ func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool
 		}
 		progressMu.Lock()
 		defer progressMu.Unlock()
+		// Once the context is done the caller is tearing down (a timeout
+		// fired or the job was cancelled); late cells finish silently so no
+		// progress line races the caller's own output. Checking under the
+		// lock makes that strict: a cancellation observed by one callback
+		// suppresses every later one.
+		if ctx.Err() != nil {
+			return
+		}
 		done++
 		progress(fmt.Sprintf("[%3d/%3d] %-18s %-14s CPI %s", done, len(jobs), m.Config, m.Workload, m.CPI))
 	}
-	err := par.Run(len(jobs), cfg.workerCount(), func(i int) error {
+	err := par.RunCtx(ctx, len(jobs), cfg.workerCount(), func(i int) error {
 		j := jobs[i]
 		var m *Measurement
 		var err error
 		switch {
 		case cfg.UseCheckpoints && j.inOrder:
-			m, err = measureInOrderSamples(j.spec, cellCfg, series[j.specIdx])
+			m, err = MeasureInOrderSamples(ctx, j.spec, cellCfg, series[j.specIdx])
 		case cfg.UseCheckpoints:
-			m, err = measureOoOSamples(j.spec, j.pol, cellCfg, series[j.specIdx])
+			m, err = MeasureOoOSamples(ctx, j.spec, j.pol, cellCfg, series[j.specIdx])
 		case j.inOrder:
-			m, err = MeasureInOrder(j.spec, cellCfg)
+			m, err = MeasureInOrderCtx(ctx, j.spec, cellCfg)
 		default:
-			m, err = MeasureOoO(j.spec, j.pol, cellCfg)
+			m, err = MeasureOoOCtx(ctx, j.spec, j.pol, cellCfg)
 		}
 		if err != nil {
 			return err

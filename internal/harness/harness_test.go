@@ -1,6 +1,8 @@
 package harness
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"strings"
 	"testing"
@@ -217,6 +219,67 @@ func TestRunSweepErrorCancels(t *testing.T) {
 	}
 	if progressed != 0 {
 		t.Errorf("%d cells reported progress despite every cell failing", progressed)
+	}
+}
+
+// TestRunSweepCtxCancelledBeforeStart: a dead context yields the context's
+// error immediately — no cells measure, no progress prints.
+func TestRunSweepCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var progressed int
+	sw, err := RunSweepCtx(ctx, tinySpecs(t, "gcc"), []core.Policy{core.Baseline()}, false, tinyConfig(),
+		func(string) { progressed++ })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sw != nil {
+		t.Error("cancelled sweep must return a nil table")
+	}
+	if progressed != 0 {
+		t.Errorf("%d progress lines printed under a cancelled context", progressed)
+	}
+}
+
+// TestRunSweepCtxCancelMidway: cancelling from the progress callback stops
+// the sweep promptly — queued cells never start, in-flight cores bail out —
+// and no further progress lines appear after the cancellation (the
+// cancellation-safe progress contract the CLI drivers rely on).
+func TestRunSweepCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cfg := tinyConfig()
+	cfg.Workers = 2
+	var after int
+	var cancelled bool
+	specs := tinySpecs(t, "gcc", "xz", "mcf", "exchange2")
+	sw, err := RunSweepCtx(ctx, specs, core.All(), true, cfg, func(string) {
+		if cancelled {
+			after++
+			return
+		}
+		cancelled = true
+		cancel()
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if sw != nil {
+		t.Error("cancelled sweep must return a nil table")
+	}
+	if after != 0 {
+		t.Errorf("%d progress lines printed after cancellation", after)
+	}
+}
+
+// TestMeasureOoOCtxCancelled: the per-measurement entry point honors a dead
+// context too (it is what the serve cache calls directly).
+func TestMeasureOoOCtxCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s, _ := workload.ByName("gcc")
+	if _, err := MeasureOoOCtx(ctx, s, core.Baseline(), tinyConfig()); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
 	}
 }
 

@@ -1,6 +1,7 @@
 package harness
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -187,6 +188,11 @@ type Fig9eResult struct {
 // out over cfg.Workers goroutines; each point's CPI lands in a slot indexed
 // by its tuple, so the results are independent of scheduling.
 func RunFig9e(policyName string, delays []int, specNames []string, cfg Config) ([]Fig9eResult, error) {
+	return RunFig9eCtx(context.Background(), policyName, delays, specNames, cfg)
+}
+
+// RunFig9eCtx is RunFig9e with cancellation (see RunSweepCtx).
+func RunFig9eCtx(ctx context.Context, policyName string, delays []int, specNames []string, cfg Config) ([]Fig9eResult, error) {
 	specs := make([]workload.Spec, len(specNames))
 	for i, name := range specNames {
 		s, err := byName(name)
@@ -200,10 +206,10 @@ func RunFig9e(policyName string, delays []int, specNames []string, cfg Config) (
 		return nil, err
 	}
 	cpis := make([]float64, len(delays)*len(specs))
-	err = par.Run(len(cpis), cfg.workerCount(), func(i int) error {
+	err = par.RunCtx(ctx, len(cpis), cfg.workerCount(), func(i int) error {
 		pol := basePol
 		pol.ExtraBroadcastDelay = delays[i/len(specs)]
-		m, err := MeasureOoO(specs[i%len(specs)], pol, cfg)
+		m, err := MeasureOoOCtx(ctx, specs[i%len(specs)], pol, cfg)
 		if err != nil {
 			return err
 		}

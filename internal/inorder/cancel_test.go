@@ -1,0 +1,24 @@
+package inorder
+
+import (
+	"errors"
+	"testing"
+
+	"nda/internal/workload"
+)
+
+// TestCancelStopsRun mirrors the OoO core's contract: a closed Cancel
+// channel stops the machine within one polling stride.
+func TestCancelStopsRun(t *testing.T) {
+	prog := workload.Random(99, 5_000)
+	m := NewFromProgram(prog, DefaultParams())
+	done := make(chan struct{})
+	close(done)
+	m.Cancel = done
+	if err := m.Run(500_000_000); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if m.Cycles() > 4*cancelStride {
+		t.Errorf("machine ran %d cycles after cancellation (stride %d)", m.Cycles(), cancelStride)
+	}
+}

@@ -15,6 +15,7 @@
 package inorder
 
 import (
+	"errors"
 	"fmt"
 
 	"nda/internal/cache"
@@ -87,6 +88,10 @@ type Machine struct {
 	cycle         uint64
 	lastFetchLine uint64
 	stats         Stats
+
+	// Cancel, when non-nil, aborts Run/RunInsts with ErrCancelled shortly
+	// after the channel closes (polled every cancelStride instructions).
+	Cancel <-chan struct{}
 }
 
 // New builds an in-order machine running prog on the given memory image.
@@ -198,9 +203,12 @@ func (m *Machine) Step() error {
 
 // Run executes until HALT or maxInsts instructions.
 func (m *Machine) Run(maxInsts uint64) error {
-	for !m.emu.Halted {
+	for step := uint64(0); !m.emu.Halted; step++ {
 		if m.emu.Retired >= maxInsts {
 			return fmt.Errorf("inorder: exceeded %d instructions without halting", maxInsts)
+		}
+		if m.cancelled(step) {
+			return ErrCancelled
 		}
 		if err := m.Step(); err != nil {
 			return err
@@ -212,10 +220,32 @@ func (m *Machine) Run(maxInsts uint64) error {
 // RunInsts executes at most n further instructions.
 func (m *Machine) RunInsts(n uint64) error {
 	target := m.emu.Retired + n
-	for !m.emu.Halted && m.emu.Retired < target {
+	for step := uint64(0); !m.emu.Halted && m.emu.Retired < target; step++ {
+		if m.cancelled(step) {
+			return ErrCancelled
+		}
 		if err := m.Step(); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ErrCancelled is returned by Run/RunInsts when the Cancel channel closes.
+var ErrCancelled = errors.New("inorder: simulation cancelled")
+
+// cancelStride is how many instructions may retire between Cancel polls.
+const cancelStride = 1 << 12
+
+// cancelled polls the Cancel channel at most once per cancelStride steps.
+func (m *Machine) cancelled(step uint64) bool {
+	if m.Cancel == nil || step&(cancelStride-1) != 0 {
+		return false
+	}
+	select {
+	case <-m.Cancel:
+		return true
+	default:
+		return false
+	}
 }

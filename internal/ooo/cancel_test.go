@@ -1,0 +1,38 @@
+package ooo
+
+import (
+	"errors"
+	"testing"
+
+	"nda/internal/core"
+	"nda/internal/workload"
+)
+
+// TestCancelStopsRun: with the Cancel channel already closed, the core must
+// give up within one polling stride instead of burning its cycle budget.
+func TestCancelStopsRun(t *testing.T) {
+	prog := workload.Random(99, 5_000)
+	c := NewFromProgram(prog, core.Baseline(), DefaultParams())
+	done := make(chan struct{})
+	close(done)
+	c.Cancel = done
+	if err := c.Run(500_000_000); !errors.Is(err, ErrCancelled) {
+		t.Fatalf("err = %v, want ErrCancelled", err)
+	}
+	if c.Cycles() > 2*cancelStride {
+		t.Errorf("core ran %d cycles after cancellation (stride %d)", c.Cycles(), cancelStride)
+	}
+}
+
+// TestCancelNilChannelIsFree: the default (no Cancel channel) must behave
+// exactly as before — the program runs to completion.
+func TestCancelNilChannelIsFree(t *testing.T) {
+	prog := workload.Random(99, 200)
+	c := NewFromProgram(prog, core.Baseline(), DefaultParams())
+	if err := c.Run(500_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted() {
+		t.Error("program did not finish")
+	}
+}

@@ -1,6 +1,7 @@
 package ooo
 
 import (
+	"errors"
 	"fmt"
 
 	"nda/internal/bpred"
@@ -62,6 +63,12 @@ type Core struct {
 	msr      [isa.NumMSR]uint64
 	userMode bool
 	halted   bool
+
+	// Cancel, when non-nil, aborts Run/RunInsts with ErrCancelled shortly
+	// after the channel closes (checked every cancelStride cycles). The
+	// evaluation drivers wire ctx.Done() here so in-flight simulations stop
+	// promptly on timeout or job cancellation.
+	Cancel <-chan struct{}
 
 	// TraceCommit, when non-nil, is called for every committed instruction
 	// (including faulting ones) in program order. Used by differential
@@ -207,12 +214,37 @@ func (c *Core) SetMSR(n uint16, v uint64) { c.msr[n] = v }
 // Memory returns the memory image the core operates on.
 func (c *Core) Memory() *mem.Memory { return c.mem }
 
+// ErrCancelled is returned by Run/RunInsts when the core's Cancel channel
+// closes mid-simulation. Callers holding the context that fed the channel
+// translate it back into ctx.Err().
+var ErrCancelled = errors.New("ooo: simulation cancelled")
+
+// cancelStride is how many cycles may elapse between Cancel-channel polls;
+// a power of two so the check is a mask, not a division.
+const cancelStride = 1 << 12
+
+// cancelled polls the Cancel channel at most once per cancelStride cycles.
+func (c *Core) cancelled() bool {
+	if c.Cancel == nil || c.cycle&(cancelStride-1) != 0 {
+		return false
+	}
+	select {
+	case <-c.Cancel:
+		return true
+	default:
+		return false
+	}
+}
+
 // Run simulates until HALT commits or maxCycles elapse, whichever is first.
 // Exceeding maxCycles or deadlocking returns an error.
 func (c *Core) Run(maxCycles uint64) error {
 	for !c.halted {
 		if c.cycle >= maxCycles {
 			return fmt.Errorf("ooo: exceeded %d cycles without halting (pc=%#x, rob=%d)", maxCycles, c.fetchPC, c.robLen)
+		}
+		if c.cancelled() {
+			return ErrCancelled
 		}
 		if err := c.Step(); err != nil {
 			return err
@@ -229,6 +261,9 @@ func (c *Core) RunInsts(n, maxCycles uint64) error {
 	for !c.halted && c.retired < target {
 		if c.cycle >= maxCycles {
 			return fmt.Errorf("ooo: exceeded %d cycles with %d/%d instructions committed", maxCycles, c.retired, target)
+		}
+		if c.cancelled() {
+			return ErrCancelled
 		}
 		if err := c.Step(); err != nil {
 			return err

@@ -11,6 +11,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,16 @@ func Workers(n int) int {
 // returns the lowest-indexed error among the jobs that ran. With a single
 // worker that is exactly the first error, matching a serial loop.
 func Run(n, workers int, job func(i int) error) error {
+	return RunCtx(context.Background(), n, workers, job)
+}
+
+// RunCtx is Run with cancellation: once ctx is done, no queued job starts.
+// In-flight jobs run to completion unless they observe ctx themselves (the
+// simulation drivers pass ctx.Done() down to the cores, so long cells stop
+// mid-simulation too). Job errors take precedence over the context error —
+// RunCtx returns the lowest-indexed job error if any job failed, otherwise
+// ctx.Err() if the context ended the run early, otherwise nil.
+func RunCtx(ctx context.Context, n, workers int, job func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
@@ -42,16 +53,21 @@ func Run(n, workers int, job func(i int) error) error {
 		workers = n
 	}
 	var (
-		next   atomic.Int64
-		failed atomic.Bool
-		errs   = make([]error, n)
-		wg     sync.WaitGroup
+		next      atomic.Int64
+		failed    atomic.Bool
+		cancelled atomic.Bool
+		errs      = make([]error, n)
+		wg        sync.WaitGroup
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for !failed.Load() {
+				if ctx.Err() != nil {
+					cancelled.Store(true)
+					return
+				}
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
@@ -69,6 +85,9 @@ func Run(n, workers int, job func(i int) error) error {
 		if err != nil {
 			return err
 		}
+	}
+	if cancelled.Load() {
+		return ctx.Err()
 	}
 	return nil
 }

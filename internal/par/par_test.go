@@ -1,6 +1,7 @@
 package par
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync/atomic"
@@ -96,5 +97,73 @@ func TestRunLowestError(t *testing.T) {
 	})
 	if err == nil || err.Error() != "job 4" {
 		t.Fatalf("err = %v, want job 4", err)
+	}
+}
+
+// TestRunCtxCancelledBeforeStart: a context that is already dead means no
+// job runs at all and the context's error comes back.
+func TestRunCtxCancelledBeforeStart(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := RunCtx(ctx, 100, 4, func(int) error {
+		t.Error("job ran under a cancelled context")
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+// TestRunCtxCancelMidway: cancelling during the run stops the queue — with
+// one worker the indices after the cancelling job never start.
+func TestRunCtxCancelMidway(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var ran []int
+	err := RunCtx(ctx, 10, 1, func(i int) error {
+		ran = append(ran, i)
+		if i == 3 {
+			cancel()
+		}
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(ran) != 4 {
+		t.Fatalf("jobs ran after cancellation: %v", ran)
+	}
+}
+
+// TestRunCtxJobErrorBeatsCancel: when a job fails and the context dies in
+// the same run, the job's error wins — it is the more specific diagnosis.
+func TestRunCtxJobErrorBeatsCancel(t *testing.T) {
+	boom := errors.New("boom")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	err := RunCtx(ctx, 10, 1, func(i int) error {
+		if i == 2 {
+			cancel()
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+}
+
+// TestRunCtxBackgroundMatchesRun: RunCtx under a background context is
+// exactly Run.
+func TestRunCtxBackgroundMatchesRun(t *testing.T) {
+	var hits atomic.Int64
+	if err := RunCtx(context.Background(), 50, 8, func(int) error {
+		hits.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if hits.Load() != 50 {
+		t.Fatalf("ran %d of 50 jobs", hits.Load())
 	}
 }

@@ -1,0 +1,81 @@
+package serve
+
+import (
+	"context"
+	"sync"
+)
+
+// Cache is the content-addressed result store with singleflight
+// deduplication. Values are keyed by Key(...) hashes of their full input
+// description, so a hit is by construction the same result a fresh
+// simulation would produce.
+//
+// Concurrency contract: the first caller of Do for a key computes the
+// value; concurrent callers for the same key block until that computation
+// finishes and then share the result (a dedup hit — the work ran once).
+// Failed computations are not cached: the entry is removed before waiters
+// wake, and each waiter retries, so a job cancelled mid-flight never
+// poisons the cache for later requests.
+type Cache struct {
+	mu sync.Mutex
+	m  map[string]*cacheEntry
+}
+
+type cacheEntry struct {
+	ready chan struct{} // closed when val/err are final
+	val   any
+	err   error
+}
+
+// NewCache returns an empty cache.
+func NewCache() *Cache {
+	return &Cache{m: make(map[string]*cacheEntry)}
+}
+
+// Len returns the number of cached (successful) or in-flight entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.m)
+}
+
+// Do returns the cached value for key, joining an in-flight computation if
+// one exists, or computes it by calling compute. hit reports whether the
+// value was served without running compute in this call — a warm cache
+// entry or a join on another caller's flight. Waiting is bounded by ctx;
+// compute itself is responsible for observing ctx (the simulation runners
+// pass it down to the cores).
+func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (v any, hit bool, err error) {
+	for {
+		c.mu.Lock()
+		if e, ok := c.m[key]; ok {
+			c.mu.Unlock()
+			select {
+			case <-e.ready:
+				if e.err == nil {
+					return e.val, true, nil
+				}
+				// The owner failed (possibly its own cancellation). The
+				// entry is already gone; retry under our context.
+				if cerr := ctx.Err(); cerr != nil {
+					return nil, false, cerr
+				}
+				continue
+			case <-ctx.Done():
+				return nil, false, ctx.Err()
+			}
+		}
+		e := &cacheEntry{ready: make(chan struct{})}
+		c.m[key] = e
+		c.mu.Unlock()
+
+		e.val, e.err = compute()
+		if e.err != nil {
+			c.mu.Lock()
+			delete(c.m, key)
+			c.mu.Unlock()
+		}
+		close(e.ready)
+		return e.val, false, e.err
+	}
+}

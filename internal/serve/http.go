@@ -1,0 +1,149 @@
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+)
+
+// NewHandler builds the service's HTTP API on top of a manager:
+//
+//	POST /v1/sweep     submit a performance sweep        (body: SweepRequest)
+//	POST /v1/attack    submit a security-matrix run      (body: AttackRequest)
+//	POST /v1/gadgets   submit a static gadget census     (body: GadgetsRequest)
+//	GET  /v1/jobs      list jobs in submission order
+//	GET  /v1/jobs/{id} job status and progress
+//	GET  /v1/jobs/{id}/result  the result JSON (409 until done)
+//	DELETE /v1/jobs/{id}       cancel a queued or running job
+//	GET  /healthz      liveness
+//	GET  /metrics      Prometheus-style counters
+//
+// Submissions return 202 with the job status; add ?wait=1 to block until
+// the job finishes and receive the result body directly — the result
+// bytes are identical whether the cells simulated or hit the cache. A
+// full queue answers 429, a draining server 503.
+func NewHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, func(req SweepRequest) (*Job, error) { return m.SubmitSweep(req) })
+	})
+	mux.HandleFunc("POST /v1/attack", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, func(req AttackRequest) (*Job, error) { return m.SubmitAttack(req) })
+	})
+	mux.HandleFunc("POST /v1/gadgets", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, func(req GadgetsRequest) (*Job, error) { return m.SubmitGadgets(req) })
+	})
+	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, m.Jobs())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, j.Status())
+	})
+	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
+		j, ok := m.Get(r.PathValue("id"))
+		if !ok {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeResult(w, j)
+	})
+	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		if !m.Cancel(r.PathValue("id")) {
+			writeError(w, http.StatusNotFound, "unknown job")
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		fmt.Fprint(w, m.Metrics().Render())
+	})
+	return mux
+}
+
+// maxBodyBytes bounds request bodies; every request type is a small list
+// of names and knobs.
+const maxBodyBytes = 1 << 20
+
+// submit decodes a typed request body, enqueues it, and answers 202 (or,
+// with ?wait=1, blocks and answers with the result itself).
+func submit[R any](m *Manager, w http.ResponseWriter, r *http.Request, enqueue func(R) (*Job, error)) {
+	var req R
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	// An empty body is a valid request: every field has a default.
+	if err := dec.Decode(&req); err != nil && !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	j, err := enqueue(req)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
+	case errors.Is(err, ErrDraining):
+		writeError(w, http.StatusServiceUnavailable, err.Error())
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+		if err := j.Wait(r.Context()); err != nil {
+			// The client went away; the job keeps running for later polls.
+			writeError(w, http.StatusRequestTimeout, "wait aborted: "+err.Error())
+			return
+		}
+		writeResult(w, j)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.Status())
+}
+
+// writeResult answers with a finished job's raw result bytes. The bytes
+// are stored marshalled once at completion, so two jobs for identical
+// requests — one simulated, one cache-served — answer byte-identically.
+func writeResult(w http.ResponseWriter, j *Job) {
+	st := j.Status()
+	switch st.State {
+	case JobDone:
+		res, _ := j.Result()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		w.Write(res)
+	case JobFailed:
+		writeError(w, http.StatusInternalServerError, st.Error)
+	case JobCancelled:
+		writeError(w, http.StatusConflict, "job cancelled: "+st.Error)
+	default:
+		writeJSON(w, http.StatusConflict, st)
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	buf, err := json.Marshal(v)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	w.Write(buf)
+	w.Write([]byte("\n"))
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}

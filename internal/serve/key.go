@@ -1,0 +1,35 @@
+package serve
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Key derives the content address for a unit of simulation work: a stable
+// SHA-256 over the kind tag and the canonical JSON encoding of the inputs
+// that determine the result. Two requests that would simulate the same
+// thing — the same program, ooo.Params, policy, and sample spec — hash to
+// the same key no matter which API call, job, or client they arrive
+// through, which is what lets the cache serve repeated sweeps, repeated
+// attack cells, and shared checkpoint series without re-simulation.
+//
+// The encoding is canonical because every key payload is a struct of
+// scalars, slices, and string-keyed maps: encoding/json emits struct fields
+// in declaration order and sorts map keys, so identical values yield
+// identical bytes. Anything that must not affect identity (worker counts,
+// progress hooks) is stripped before hashing.
+func Key(kind string, payload any) string {
+	b, err := json.Marshal(payload)
+	if err != nil {
+		// Key payloads are internal structs of plain data; failing to
+		// encode one is a programming error, not an input error.
+		panic(fmt.Sprintf("serve: unencodable key payload for %q: %v", kind, err))
+	}
+	h := sha256.New()
+	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write(b)
+	return kind + ":" + hex.EncodeToString(h.Sum(nil)[:16])
+}

@@ -1,0 +1,64 @@
+package serve
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is the service's counter block, exposed as Prometheus-style text
+// on GET /metrics. All counters are atomics so job workers, cell
+// simulations, and the HTTP handlers update them without locking.
+type Metrics struct {
+	start time.Time
+
+	JobsQueued    atomic.Int64 // jobs accepted into the queue (lifetime)
+	JobsRejected  atomic.Int64 // submissions bounced on a full queue (429s)
+	JobsRunning   atomic.Int64 // jobs currently executing (gauge)
+	JobsDone      atomic.Int64 // jobs finished successfully
+	JobsFailed    atomic.Int64 // jobs finished with an error
+	JobsCancelled atomic.Int64 // jobs ended by cancellation or timeout
+
+	CacheHits   atomic.Int64 // cells served from the result cache
+	CacheMisses atomic.Int64 // cells that had to simulate
+
+	Simulations     atomic.Int64 // detailed simulations actually run
+	CyclesSimulated atomic.Int64 // total measured cycles across them
+}
+
+// NewMetrics returns a counter block anchored at the current time (the
+// cycles-per-second rate and uptime are measured from here).
+func NewMetrics() *Metrics {
+	return &Metrics{start: time.Now()}
+}
+
+// CyclesPerSecond is the lifetime average simulation throughput.
+func (m *Metrics) CyclesPerSecond() float64 {
+	secs := time.Since(m.start).Seconds()
+	if secs <= 0 {
+		return 0
+	}
+	return float64(m.CyclesSimulated.Load()) / secs
+}
+
+// Render emits the Prometheus text exposition format.
+func (m *Metrics) Render() string {
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counter("nda_jobs_queued_total", "jobs accepted into the queue", m.JobsQueued.Load())
+	counter("nda_jobs_rejected_total", "submissions rejected because the queue was full", m.JobsRejected.Load())
+	counter("nda_jobs_done_total", "jobs finished successfully", m.JobsDone.Load())
+	counter("nda_jobs_failed_total", "jobs finished with an error", m.JobsFailed.Load())
+	counter("nda_jobs_cancelled_total", "jobs ended by cancellation or timeout", m.JobsCancelled.Load())
+	counter("nda_cache_hits_total", "simulation cells served from the result cache", m.CacheHits.Load())
+	counter("nda_cache_misses_total", "simulation cells that had to simulate", m.CacheMisses.Load())
+	counter("nda_simulations_total", "detailed simulations run", m.Simulations.Load())
+	counter("nda_cycles_simulated_total", "measured cycles across all simulations", m.CyclesSimulated.Load())
+	fmt.Fprintf(&b, "# HELP nda_jobs_running jobs currently executing\n# TYPE nda_jobs_running gauge\nnda_jobs_running %d\n", m.JobsRunning.Load())
+	fmt.Fprintf(&b, "# HELP nda_cycles_per_second lifetime average simulated cycles per second\n# TYPE nda_cycles_per_second gauge\nnda_cycles_per_second %.1f\n", m.CyclesPerSecond())
+	fmt.Fprintf(&b, "# HELP nda_uptime_seconds seconds since the service started\n# TYPE nda_uptime_seconds gauge\nnda_uptime_seconds %.1f\n", time.Since(m.start).Seconds())
+	return b.String()
+}

@@ -1,0 +1,218 @@
+package serve
+
+import (
+	"fmt"
+
+	"nda/internal/attack"
+	"nda/internal/core"
+	"nda/internal/harness"
+	"nda/internal/workload"
+)
+
+// SamplingSpec selects the SMARTS methodology for a sweep request. The
+// zero value means the standard methodology (harness.DefaultConfig); Quick
+// switches to the reduced smoke-run methodology; any explicitly non-zero
+// window overrides the corresponding field. The resolved harness.Config —
+// not the spec as written — is what the cache key hashes, so a request
+// that spells out the default values verbatim hits the same cache entries
+// as one that leaves them blank.
+type SamplingSpec struct {
+	Quick            bool   `json:"quick,omitempty"`
+	Checkpoints      bool   `json:"checkpoints,omitempty"`
+	CheckpointStride uint64 `json:"checkpoint_stride,omitempty"`
+	WarmInsts        uint64 `json:"warm_insts,omitempty"`
+	MeasureInsts     uint64 `json:"measure_insts,omitempty"`
+	SkipInsts        uint64 `json:"skip_insts,omitempty"`
+	Intervals        int    `json:"intervals,omitempty"`
+	MaxCycles        uint64 `json:"max_cycles,omitempty"`
+}
+
+// resolve maps the spec onto a concrete harness.Config. Workers stays 0 —
+// parallelism is the manager's concern and must never reach a cache key.
+func (s SamplingSpec) resolve() harness.Config {
+	cfg := harness.DefaultConfig()
+	if s.Quick {
+		cfg = harness.Quick()
+	}
+	cfg.UseCheckpoints = s.Checkpoints
+	if s.CheckpointStride > 0 {
+		cfg.CheckpointStride = s.CheckpointStride
+	}
+	if s.WarmInsts > 0 {
+		cfg.WarmInsts = s.WarmInsts
+	}
+	if s.MeasureInsts > 0 {
+		cfg.MeasureInsts = s.MeasureInsts
+	}
+	if s.SkipInsts > 0 {
+		cfg.SkipInsts = s.SkipInsts
+	}
+	if s.Intervals > 0 {
+		cfg.Intervals = s.Intervals
+	}
+	if s.MaxCycles > 0 {
+		cfg.MaxCycles = s.MaxCycles
+	}
+	return cfg
+}
+
+// SweepRequest asks for the paper's performance sweep: every listed
+// workload measured under every listed policy (plus the in-order bound
+// unless disabled). Empty lists mean "all".
+type SweepRequest struct {
+	Workloads []string     `json:"workloads,omitempty"` // empty = all 23 SPEC proxies
+	Policies  []string     `json:"policies,omitempty"`  // empty = all configurations
+	NoInOrder bool         `json:"no_in_order,omitempty"`
+	Sampling  SamplingSpec `json:"sampling,omitempty"`
+}
+
+// sweepTask is the validated, name-resolved form of a SweepRequest.
+type sweepTask struct {
+	specs   []workload.Spec
+	pols    []core.Policy
+	inOrder bool
+	cfg     harness.Config
+}
+
+func (r SweepRequest) task() (*sweepTask, error) {
+	t := &sweepTask{inOrder: !r.NoInOrder, cfg: r.Sampling.resolve()}
+	if len(r.Workloads) == 0 {
+		t.specs = workload.SPEC()
+	} else {
+		for _, name := range r.Workloads {
+			s, err := workload.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			t.specs = append(t.specs, s)
+		}
+	}
+	if len(r.Policies) == 0 {
+		t.pols = core.All()
+	} else {
+		for _, name := range r.Policies {
+			p, err := core.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			t.pols = append(t.pols, p)
+		}
+	}
+	if len(t.specs) == 0 || (len(t.pols) == 0 && !t.inOrder) {
+		return nil, fmt.Errorf("serve: empty sweep (no workloads or no configurations)")
+	}
+	return t, nil
+}
+
+// SweepResponse is the sweep result: the full measurement grid plus the
+// headline overhead-vs-OoO percentages (Table 2's overhead column) for
+// every configuration, when the insecure baseline is part of the request.
+type SweepResponse struct {
+	Sweep     *harness.Sweep     `json:"sweep"`
+	Overheads map[string]float64 `json:"overheads_pct,omitempty"`
+}
+
+// AttackRequest asks for (a subset of) the security matrix: every listed
+// attack run under every listed policy, plus the in-order core unless
+// disabled. Empty lists mean "all" — the full Table 2 reproduction.
+type AttackRequest struct {
+	Attacks   []string `json:"attacks,omitempty"`
+	Policies  []string `json:"policies,omitempty"`
+	NoInOrder bool     `json:"no_in_order,omitempty"`
+}
+
+type attackTask struct {
+	kinds   []attack.Kind
+	pols    []core.Policy
+	inOrder bool
+}
+
+func (r AttackRequest) task() (*attackTask, error) {
+	t := &attackTask{inOrder: !r.NoInOrder}
+	if len(r.Attacks) == 0 {
+		t.kinds = attack.All()
+	} else {
+		known := map[attack.Kind]bool{}
+		for _, k := range attack.All() {
+			known[k] = true
+		}
+		for _, name := range r.Attacks {
+			k := attack.Kind(name)
+			if !known[k] {
+				return nil, fmt.Errorf("serve: unknown attack %q", name)
+			}
+			t.kinds = append(t.kinds, k)
+		}
+	}
+	if len(r.Policies) == 0 {
+		t.pols = core.All()
+	} else {
+		for _, name := range r.Policies {
+			p, err := core.ByName(name)
+			if err != nil {
+				return nil, err
+			}
+			t.pols = append(t.pols, p)
+		}
+	}
+	if len(t.pols) == 0 && !t.inOrder {
+		return nil, fmt.Errorf("serve: empty attack matrix (no configurations)")
+	}
+	return t, nil
+}
+
+// AttackResponse is the evaluated (attack, policy) grid plus the count of
+// verdicts that diverge from the paper's Table 2.
+type AttackResponse struct {
+	Cells      []attack.Cell `json:"cells"`
+	Mismatches int           `json:"mismatches"`
+}
+
+// GadgetsRequest asks for the static gadget census over the named built-in
+// programs (attack snippets and workload kernels); empty means all.
+type GadgetsRequest struct {
+	Programs []string `json:"programs,omitempty"`
+}
+
+type gadgetsTask struct {
+	ins []gadgetInput
+}
+
+// gadgetInput pairs one census input with its position in the request.
+type gadgetInput struct {
+	name string
+}
+
+func (r GadgetsRequest) task() (*gadgetsTask, error) {
+	t := &gadgetsTask{}
+	if len(r.Programs) == 0 {
+		for _, name := range builtinNames() {
+			t.ins = append(t.ins, gadgetInput{name: name})
+		}
+		return t, nil
+	}
+	known := map[string]bool{}
+	for _, name := range builtinNames() {
+		known[name] = true
+	}
+	for _, name := range r.Programs {
+		if !known[name] {
+			return nil, fmt.Errorf("serve: unknown program %q", name)
+		}
+		t.ins = append(t.ins, gadgetInput{name: name})
+	}
+	return t, nil
+}
+
+// builtinNames lists the census programs in their fixed order: attacks in
+// Table 1 order, then workloads in Fig. 7 order.
+func builtinNames() []string {
+	var names []string
+	for _, k := range attack.All() {
+		names = append(names, string(k))
+	}
+	for _, s := range workload.All() {
+		names = append(names, s.Name)
+	}
+	return names
+}

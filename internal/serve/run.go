@@ -1,0 +1,305 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+
+	"nda/internal/attack"
+	"nda/internal/core"
+	"nda/internal/gadget"
+	"nda/internal/harness"
+	"nda/internal/ooo"
+	"nda/internal/par"
+	"nda/internal/workload"
+)
+
+// This file is where jobs meet the cache: every runner decomposes its
+// request into independent cells, fans the cells out over the par pool,
+// and resolves each cell through Cache.Do under a content-addressed key.
+// A repeated request — or a different request that shares cells with an
+// earlier one (a sweep over a workload subset, say, after a full sweep) —
+// is assembled from memory without re-simulation.
+
+// sweepCellKey describes everything a sweep cell's result depends on. The
+// embedded harness.Config carries the full sampling spec and ooo.Params;
+// Workers is zeroed before hashing because parallelism must never change
+// identity.
+type sweepCellKey struct {
+	Workload string         `json:"workload"`
+	InOrder  bool           `json:"in_order"`
+	Policy   core.Policy    `json:"policy"`
+	Config   harness.Config `json:"config"`
+}
+
+// seriesKey identifies a workload's checkpoint series: the sampling spec
+// determines where the sampling points fall, nothing else does.
+type seriesKey struct {
+	Workload string         `json:"workload"`
+	Config   harness.Config `json:"config"`
+}
+
+// attackCellKey describes one (attack, policy) security-matrix cell.
+type attackCellKey struct {
+	Attack  attack.Kind `json:"attack"`
+	InOrder bool        `json:"in_order"`
+	Policy  core.Policy `json:"policy"`
+	Params  ooo.Params  `json:"params"`
+}
+
+// gadgetKey identifies one program's static census entry.
+type gadgetKey struct {
+	Program string `json:"program"`
+	Window  int    `json:"window"`
+}
+
+// runSweep evaluates the request's (workload, config) grid cell by cell
+// through the cache and assembles the same Sweep table harness.RunSweep
+// builds, so served results are interchangeable with CLI results.
+func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, error) {
+	type cellSpec struct {
+		spec    workload.Spec
+		pol     core.Policy
+		inOrder bool
+	}
+	var cells []cellSpec
+	for _, spec := range t.specs {
+		for _, pol := range t.pols {
+			cells = append(cells, cellSpec{spec: spec, pol: pol})
+		}
+		if t.inOrder {
+			cells = append(cells, cellSpec{spec: spec, inOrder: true})
+		}
+	}
+	j.total.Store(int64(len(cells)))
+
+	// Cells saturate the pool on their own; per-sample fan-out inside a
+	// checkpointed cell stays serial, exactly as in harness.RunSweep.
+	cellCfg := t.cfg
+	cellCfg.Workers = 1
+
+	results := make([]*harness.Measurement, len(cells))
+	err := par.RunCtx(ctx, len(cells), m.simWorkers(), func(i int) error {
+		c := cells[i]
+		mres, err := m.measureCell(ctx, j, c.spec, c.pol, c.inOrder, cellCfg)
+		if err != nil {
+			return err
+		}
+		results[i] = mres
+		j.done.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	sw := &harness.Sweep{Cells: make(map[string]map[string]*harness.Measurement)}
+	for _, spec := range t.specs {
+		sw.Workloads = append(sw.Workloads, spec.Name)
+	}
+	for _, pol := range t.pols {
+		sw.Configs = append(sw.Configs, pol.Name)
+	}
+	if t.inOrder {
+		sw.Configs = append(sw.Configs, harness.InOrderName)
+	}
+	for i, c := range cells {
+		name := harness.InOrderName
+		if !c.inOrder {
+			name = c.pol.Name
+		}
+		byWorkload := sw.Cells[name]
+		if byWorkload == nil {
+			byWorkload = make(map[string]*harness.Measurement)
+			sw.Cells[name] = byWorkload
+		}
+		byWorkload[c.spec.Name] = results[i]
+	}
+
+	resp := &SweepResponse{Sweep: sw}
+	if sw.Baseline(sw.Workloads[0]) != nil {
+		resp.Overheads = make(map[string]float64, len(sw.Configs))
+		for _, cfgName := range sw.Configs {
+			if cfgName == core.Baseline().Name {
+				continue
+			}
+			resp.Overheads[cfgName] = sw.Overhead(cfgName)
+		}
+	}
+	return resp, nil
+}
+
+// measureCell resolves one sweep cell through the cache, simulating on a
+// miss. In checkpoint mode the workload's sample series is itself cache-
+// resolved first, so the functional fast-forward and checkpoint capture
+// also happen once per (workload, sampling spec) per process.
+func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, pol core.Policy, inOrder bool, cfg harness.Config) (*harness.Measurement, error) {
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	key := Key("sweep-cell", sweepCellKey{Workload: spec.Name, InOrder: inOrder, Policy: pol, Config: keyCfg})
+	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+		var mres *harness.Measurement
+		var err error
+		switch {
+		case cfg.UseCheckpoints:
+			ss, serr := m.samples(ctx, spec, cfg)
+			if serr != nil {
+				return nil, serr
+			}
+			if inOrder {
+				mres, err = harness.MeasureInOrderSamples(ctx, spec, cfg, ss)
+			} else {
+				mres, err = harness.MeasureOoOSamples(ctx, spec, pol, cfg, ss)
+			}
+		case inOrder:
+			mres, err = harness.MeasureInOrderCtx(ctx, spec, cfg)
+		default:
+			mres, err = harness.MeasureOoOCtx(ctx, spec, pol, cfg)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.metrics.Simulations.Add(1)
+		m.metrics.CyclesSimulated.Add(int64(mres.Cycles))
+		return mres, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.noteCacheUse(j, hit)
+	return v.(*harness.Measurement), nil
+}
+
+// samples cache-resolves a workload's checkpoint series. Series reuse is
+// not counted in the cell hit/miss metrics: the series is an intermediate,
+// not a client-visible result.
+func (m *Manager) samples(ctx context.Context, spec workload.Spec, cfg harness.Config) (*harness.SampleSeries, error) {
+	keyCfg := cfg
+	keyCfg.Workers = 0
+	key := Key("series", seriesKey{Workload: spec.Name, Config: keyCfg})
+	v, _, err := m.cache.Do(ctx, key, func() (any, error) {
+		return harness.TakeSamples(spec, cfg)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return v.(*harness.SampleSeries), nil
+}
+
+// runAttack evaluates the request's (attack, config) grid cell by cell
+// through the cache, mirroring attack.MatrixCtx's layout: for each attack,
+// every policy in order, then the in-order core.
+func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, error) {
+	perKind := len(t.pols)
+	if t.inOrder {
+		perKind++
+	}
+	cells := make([]attack.Cell, len(t.kinds)*perKind)
+	j.total.Store(int64(len(cells)))
+
+	err := par.RunCtx(ctx, len(cells), m.simWorkers(), func(i int) error {
+		kind := t.kinds[i/perKind]
+		pi := i % perKind
+		inOrder := t.inOrder && pi == len(t.pols)
+		var pol core.Policy
+		if !inOrder {
+			pol = t.pols[pi]
+		}
+		out, err := m.attackCell(ctx, j, kind, pol, inOrder)
+		if err != nil {
+			return err
+		}
+		cell := attack.Cell{Attack: kind, Policy: out.Policy, Outcome: out}
+		if !inOrder {
+			cell.Expected = attack.Expected[kind][pol.Name]
+		}
+		cells[i] = cell
+		j.done.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	resp := &AttackResponse{Cells: cells}
+	for _, c := range cells {
+		if !c.Matches() {
+			resp.Mismatches++
+		}
+	}
+	return resp, nil
+}
+
+// attackCell resolves one (attack, policy) outcome through the cache.
+func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol core.Policy, inOrder bool) (*attack.Outcome, error) {
+	key := Key("attack-cell", attackCellKey{Attack: kind, InOrder: inOrder, Policy: pol, Params: m.cfg.Params})
+	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+		var out *attack.Outcome
+		var err error
+		if inOrder {
+			out, err = attack.RunInOrderCtx(ctx, kind)
+		} else {
+			out, err = attack.RunCtx(ctx, kind, pol, m.cfg.Params)
+		}
+		if err != nil {
+			return nil, err
+		}
+		m.metrics.Simulations.Add(1)
+		m.metrics.CyclesSimulated.Add(int64(out.Cycles))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m.noteCacheUse(j, hit)
+	return v.(*attack.Outcome), nil
+}
+
+// runGadgets builds the static census for the requested programs, one
+// cache-resolved ProgramReport per program.
+func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, error) {
+	builtins, err := gadget.Builtins()
+	if err != nil {
+		return nil, err
+	}
+	byName := make(map[string]gadget.Input, len(builtins))
+	for _, in := range builtins {
+		byName[in.Name] = in
+	}
+	j.total.Store(int64(len(t.ins)))
+
+	report := &gadget.Report{Window: gadget.DefaultWindow, Programs: make([]gadget.ProgramReport, len(t.ins))}
+	err = par.RunCtx(ctx, len(t.ins), m.simWorkers(), func(i int) error {
+		in, ok := byName[t.ins[i].name]
+		if !ok {
+			return fmt.Errorf("serve: unknown program %q", t.ins[i].name)
+		}
+		key := Key("gadget", gadgetKey{Program: in.Name, Window: gadget.DefaultWindow})
+		v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+			an := gadget.Analyze(in.Prog, in.Cfg)
+			return gadget.NewProgramReport(in.Name, in.Group, an, in.Group == "attack"), nil
+		})
+		if err != nil {
+			return err
+		}
+		m.noteCacheUse(j, hit)
+		report.Programs[i] = v.(gadget.ProgramReport)
+		j.done.Add(1)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return report, nil
+}
+
+// noteCacheUse folds one cell's cache outcome into the job's and the
+// service's counters.
+func (m *Manager) noteCacheUse(j *Job, hit bool) {
+	if hit {
+		j.hits.Add(1)
+		m.metrics.CacheHits.Add(1)
+	} else {
+		j.misses.Add(1)
+		m.metrics.CacheMisses.Add(1)
+	}
+}

@@ -1,0 +1,381 @@
+// Package serve turns the NDA simulator into a long-lived service: a job
+// manager with a bounded queue and per-job cancellation, a
+// content-addressed result cache with singleflight deduplication, and the
+// handlers behind cmd/ndaserve's HTTP API.
+//
+// The CLI drivers (ndabench, ndattack, ndalint) recompute everything from
+// scratch on every invocation. The service amortizes that cost the way
+// gem5-style evaluation pipelines amortize theirs with checkpoint reuse:
+// every unit of simulation work — a (workload, policy, sampling-spec)
+// sweep cell, an (attack, policy) matrix cell, a workload's checkpoint
+// series, a program's gadget census — is keyed by a stable hash of its
+// full input description and memoized, so identical work is simulated
+// once per process no matter how many requests, jobs, or clients ask for
+// it. Because every cell derives its result from its key's inputs alone,
+// a cache hit is byte-for-byte the response a fresh simulation would have
+// produced.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"nda/internal/ooo"
+	"nda/internal/par"
+)
+
+// Sentinel errors the HTTP layer maps onto status codes.
+var (
+	// ErrQueueFull is returned by Submit* when the bounded job queue has no
+	// free slot — the backpressure signal behind HTTP 429.
+	ErrQueueFull = errors.New("serve: job queue full")
+	// ErrDraining is returned by Submit* once shutdown has begun (503).
+	ErrDraining = errors.New("serve: shutting down")
+)
+
+// JobState is a job's position in its lifecycle.
+type JobState string
+
+const (
+	JobQueued    JobState = "queued"
+	JobRunning   JobState = "running"
+	JobDone      JobState = "done"
+	JobFailed    JobState = "failed"
+	JobCancelled JobState = "cancelled"
+)
+
+// Job is one queued or running unit of API work. All fields are private
+// and accessed through snapshot methods so HTTP handlers can read a job
+// the workers are still mutating.
+type Job struct {
+	id   string
+	kind string
+
+	// Progress counters, written by cell simulations as they finish.
+	total, done  atomic.Int64
+	hits, misses atomic.Int64
+
+	mu     sync.Mutex
+	state  JobState
+	errMsg string
+	result []byte // canonical JSON, set once on success
+	cancel context.CancelFunc
+
+	doneCh chan struct{} // closed when the job reaches a terminal state
+
+	run func(ctx context.Context, j *Job) (any, error)
+}
+
+// ID returns the job's identifier.
+func (j *Job) ID() string { return j.id }
+
+// Status is a consistent snapshot of a job for the API. It deliberately
+// carries no wall-clock fields: identical requests must produce identical
+// response bytes whether they simulated or hit the cache.
+type Status struct {
+	ID          string   `json:"id"`
+	Kind        string   `json:"kind"`
+	State       JobState `json:"state"`
+	DoneCells   int64    `json:"done_cells"`
+	TotalCells  int64    `json:"total_cells"`
+	CacheHits   int64    `json:"cache_hits"`
+	CacheMisses int64    `json:"cache_misses"`
+	Error       string   `json:"error,omitempty"`
+}
+
+// Status returns a point-in-time snapshot.
+func (j *Job) Status() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return Status{
+		ID:          j.id,
+		Kind:        j.kind,
+		State:       j.state,
+		DoneCells:   j.done.Load(),
+		TotalCells:  j.total.Load(),
+		CacheHits:   j.hits.Load(),
+		CacheMisses: j.misses.Load(),
+		Error:       j.errMsg,
+	}
+}
+
+// Result returns the job's result JSON and whether it is available yet.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.state == JobDone
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.doneCh }
+
+// Wait blocks until the job finishes or ctx ends.
+func (j *Job) Wait(ctx context.Context) error {
+	select {
+	case <-j.doneCh:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Config sizes the manager.
+type Config struct {
+	// QueueDepth bounds how many jobs may wait for a worker; submissions
+	// beyond it are rejected with ErrQueueFull. 0 means 16.
+	QueueDepth int
+	// JobWorkers bounds how many jobs execute concurrently. 0 means 2.
+	JobWorkers int
+	// SimWorkers bounds the goroutines each job fans its cells out over
+	// (via internal/par). 0 means one per available CPU.
+	SimWorkers int
+	// Params is the micro-architecture the attack matrix runs on; the zero
+	// value means ooo.DefaultParams (sweeps carry their own Params inside
+	// the sampling config).
+	Params ooo.Params
+}
+
+// Manager owns the queue, the workers, and the result cache.
+type Manager struct {
+	cfg     Config
+	cache   *Cache
+	metrics *Metrics
+
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu       sync.Mutex
+	draining bool
+	jobs     map[string]*Job
+	order    []string // job IDs in submission order
+
+	queue  chan *Job
+	wg     sync.WaitGroup
+	nextID atomic.Int64
+}
+
+// NewManager starts a manager and its worker pool.
+func NewManager(cfg Config) *Manager {
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 16
+	}
+	if cfg.JobWorkers <= 0 {
+		cfg.JobWorkers = 2
+	}
+	if cfg.Params == (ooo.Params{}) {
+		cfg.Params = ooo.DefaultParams()
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &Manager{
+		cfg:        cfg,
+		cache:      NewCache(),
+		metrics:    NewMetrics(),
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		jobs:       make(map[string]*Job),
+		queue:      make(chan *Job, cfg.QueueDepth),
+	}
+	for i := 0; i < cfg.JobWorkers; i++ {
+		m.wg.Add(1)
+		go m.worker()
+	}
+	return m
+}
+
+// Metrics exposes the counter block.
+func (m *Manager) Metrics() *Metrics { return m.metrics }
+
+// Cache exposes the result cache (tests and diagnostics).
+func (m *Manager) Cache() *Cache { return m.cache }
+
+// Get returns a job by ID.
+func (m *Manager) Get(id string) (*Job, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	return j, ok
+}
+
+// Jobs returns snapshots of every job in submission order.
+func (m *Manager) Jobs() []Status {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, m.jobs[id])
+	}
+	m.mu.Unlock()
+	out := make([]Status, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.Status()
+	}
+	return out
+}
+
+// SubmitSweep validates and enqueues a sweep job.
+func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
+	t, err := req.task()
+	if err != nil {
+		return nil, err
+	}
+	return m.enqueue("sweep", func(ctx context.Context, j *Job) (any, error) {
+		return m.runSweep(ctx, j, t)
+	})
+}
+
+// SubmitAttack validates and enqueues an attack-matrix job.
+func (m *Manager) SubmitAttack(req AttackRequest) (*Job, error) {
+	t, err := req.task()
+	if err != nil {
+		return nil, err
+	}
+	return m.enqueue("attack", func(ctx context.Context, j *Job) (any, error) {
+		return m.runAttack(ctx, j, t)
+	})
+}
+
+// SubmitGadgets validates and enqueues a gadget-census job.
+func (m *Manager) SubmitGadgets(req GadgetsRequest) (*Job, error) {
+	t, err := req.task()
+	if err != nil {
+		return nil, err
+	}
+	return m.enqueue("gadgets", func(ctx context.Context, j *Job) (any, error) {
+		return m.runGadgets(ctx, j, t)
+	})
+}
+
+// enqueue registers a job and offers it to the queue without blocking:
+// a full queue is the client's backpressure signal, not a wait.
+func (m *Manager) enqueue(kind string, run func(context.Context, *Job) (any, error)) (*Job, error) {
+	j := &Job{
+		id:     fmt.Sprintf("job-%06d", m.nextID.Add(1)),
+		kind:   kind,
+		state:  JobQueued,
+		doneCh: make(chan struct{}),
+		run:    run,
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.draining {
+		return nil, ErrDraining
+	}
+	select {
+	case m.queue <- j:
+	default:
+		m.metrics.JobsRejected.Add(1)
+		return nil, ErrQueueFull
+	}
+	m.jobs[j.id] = j
+	m.order = append(m.order, j.id)
+	m.metrics.JobsQueued.Add(1)
+	return j, nil
+}
+
+// Cancel stops a job: a queued job is skipped when a worker reaches it, a
+// running job has its context cancelled (the cores notice within a few
+// thousand simulated cycles). Returns false for unknown IDs.
+func (m *Manager) Cancel(id string) bool {
+	j, ok := m.Get(id)
+	if !ok {
+		return false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		j.state = JobCancelled
+		j.errMsg = context.Canceled.Error()
+		m.metrics.JobsCancelled.Add(1)
+		close(j.doneCh)
+	case JobRunning:
+		j.cancel()
+	}
+	return true
+}
+
+func (m *Manager) worker() {
+	defer m.wg.Done()
+	for j := range m.queue {
+		m.runJob(j)
+	}
+}
+
+func (m *Manager) runJob(j *Job) {
+	j.mu.Lock()
+	if j.state != JobQueued { // cancelled while queued
+		j.mu.Unlock()
+		return
+	}
+	ctx, cancel := context.WithCancel(m.baseCtx)
+	j.state = JobRunning
+	j.cancel = cancel
+	j.mu.Unlock()
+	defer cancel()
+
+	m.metrics.JobsRunning.Add(1)
+	v, err := j.run(ctx, j)
+	m.metrics.JobsRunning.Add(-1)
+
+	var result []byte
+	if err == nil {
+		result, err = json.Marshal(v)
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		j.result = result
+		m.metrics.JobsDone.Add(1)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		j.state = JobCancelled
+		j.errMsg = err.Error()
+		m.metrics.JobsCancelled.Add(1)
+	default:
+		j.state = JobFailed
+		j.errMsg = err.Error()
+		m.metrics.JobsFailed.Add(1)
+	}
+	close(j.doneCh)
+}
+
+// Shutdown drains the service: new submissions are rejected with
+// ErrDraining immediately, queued and in-flight jobs run to completion,
+// and Shutdown returns when the workers have exited. If ctx ends first,
+// the remaining jobs are cancelled (they finish as JobCancelled, never
+// silently dropped) and ctx's error is returned.
+func (m *Manager) Shutdown(ctx context.Context) error {
+	m.mu.Lock()
+	alreadyDraining := m.draining
+	if !alreadyDraining {
+		m.draining = true
+		close(m.queue)
+	}
+	m.mu.Unlock()
+
+	idle := make(chan struct{})
+	go func() {
+		m.wg.Wait()
+		close(idle)
+	}()
+	select {
+	case <-idle:
+		if alreadyDraining {
+			return nil
+		}
+		m.baseCancel()
+		return nil
+	case <-ctx.Done():
+		m.baseCancel()
+		<-idle
+		return ctx.Err()
+	}
+}
+
+// simWorkers resolves the per-job fan-out width.
+func (m *Manager) simWorkers() int { return par.Workers(m.cfg.SimWorkers) }

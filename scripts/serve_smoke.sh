@@ -1,0 +1,67 @@
+#!/bin/sh
+# serve-smoke: black-box check of cmd/ndaserve, run by `make serve-smoke`
+# and the CI serve-smoke job.
+#
+# Starts the server on a private port, then asserts over plain HTTP:
+#   1. /healthz answers 200 with valid JSON,
+#   2. a small quick sweep (?wait=1) answers 200 with valid JSON,
+#   3. the identical sweep repeated is served from the cache byte-for-byte
+#      (nda_cache_hits_total moves, nda_simulations_total does not),
+#   4. SIGTERM drains and the process exits 0.
+set -eu
+
+ADDR=127.0.0.1:18090
+BASE=http://$ADDR
+TMP=$(mktemp -d)
+SERVER_PID=
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "serve-smoke: FAIL: $*" >&2
+    [ -f "$TMP/server.log" ] && sed 's/^/serve-smoke:   server: /' "$TMP/server.log" >&2
+    exit 1
+}
+
+go build -o "$TMP/ndaserve" ./cmd/ndaserve
+"$TMP/ndaserve" -addr "$ADDR" -drain-timeout 30s >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+
+# Wait for the listener (up to ~10s).
+i=0
+until curl -fsS "$BASE/healthz" >"$TMP/health.json" 2>/dev/null; do
+    i=$((i + 1))
+    [ $i -ge 100 ] && fail "server did not come up"
+    kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+    sleep 0.1
+done
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["status"]=="ok", d' "$TMP/health.json" \
+    || fail "/healthz body invalid"
+echo "serve-smoke: healthz ok"
+
+REQ='{"workloads":["exchange2"],"policies":["OoO"],"sampling":{"quick":true,"warm_insts":2000,"measure_insts":2000,"skip_insts":1000,"intervals":3}}'
+curl -fsS -X POST -d "$REQ" "$BASE/v1/sweep?wait=1" >"$TMP/cold.json" || fail "cold sweep request failed"
+python3 -c 'import json,sys; d=json.load(open(sys.argv[1])); assert d["sweep"]["Cells"]["OoO"]["exchange2"], d' "$TMP/cold.json" \
+    || fail "cold sweep body invalid"
+echo "serve-smoke: cold sweep ok"
+
+metric() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1==m{print $2}'; }
+SIMS=$(metric nda_simulations_total)
+HITS=$(metric nda_cache_hits_total)
+[ "$SIMS" -gt 0 ] || fail "cold sweep simulated nothing"
+
+curl -fsS -X POST -d "$REQ" "$BASE/v1/sweep?wait=1" >"$TMP/warm.json" || fail "warm sweep request failed"
+cmp -s "$TMP/cold.json" "$TMP/warm.json" || fail "cached response is not byte-identical to the cold run"
+[ "$(metric nda_simulations_total)" = "$SIMS" ] || fail "warm sweep re-simulated"
+[ "$(metric nda_cache_hits_total)" -gt "$HITS" ] || fail "warm sweep did not hit the cache"
+echo "serve-smoke: warm sweep served from cache, byte-identical"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=
+grep -q "drained cleanly" "$TMP/server.log" || fail "server did not drain cleanly"
+echo "serve-smoke: PASS"
