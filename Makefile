@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke serve-smoke vet lint fmt fmt-check ci
+.PHONY: build test race bench-smoke serve-smoke dist-smoke vet lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -28,6 +28,12 @@ bench-smoke:
 serve-smoke:
 	sh scripts/serve_smoke.sh
 
+## dist-smoke: black-box check of the distributed sweep fleet — a
+## coordinator over two local workers, one SIGKILLed mid-sweep, with the
+## merged result diffed byte-for-byte against a single-process golden run
+dist-smoke:
+	sh scripts/dist_smoke.sh
+
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
@@ -48,4 +54,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke serve-smoke
+ci: build test lint fmt-check race bench-smoke serve-smoke dist-smoke

@@ -12,6 +12,16 @@
 //	curl localhost:8090/v1/jobs/job-000002
 //	curl localhost:8090/metrics
 //
+// With -workers the process becomes a fleet coordinator instead of a
+// simulator: jobs are decomposed into cells exactly as before, but cells
+// that miss the local result cache are dispatched to the listed ndaserve
+// workers over POST /v1/cell, with bounded per-worker in-flight windows,
+// per-cell retry with backoff, health-based eviction/re-admission, and
+// hedged dispatch for stragglers. The merged result is byte-identical to
+// a local run.
+//
+//	ndaserve -addr :8090 -workers http://sim1:8090,http://sim2:8090
+//
 // On SIGINT/SIGTERM the server stops accepting work and drains: queued and
 // in-flight jobs finish (bounded by -drain-timeout, after which they are
 // cancelled), then the process exits.
@@ -26,6 +36,7 @@ import (
 	"time"
 
 	"nda/internal/cliutil"
+	"nda/internal/dist"
 	"nda/internal/serve"
 )
 
@@ -35,14 +46,69 @@ func main() {
 		queueDepth   = flag.Int("queue", 16, "bounded job queue depth; a full queue answers 429")
 		jobWorkers   = flag.Int("job-workers", 2, "jobs executing concurrently")
 		simWorkers   = flag.Int("sim-workers", 0, "simulation goroutines per job (0 = one per CPU)")
+		cacheMax     = flag.Int("cache-max-entries", serve.DefaultCacheMaxEntries, "result-cache LRU capacity in entries; evictions show on /metrics")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for jobs to drain before cancelling them")
+
+		// Coordinator mode.
+		workers      = flag.String("workers", "", "comma-separated worker ndaserve URLs; non-empty enables coordinator mode")
+		workerWindow = flag.Int("worker-window", dist.DefaultWindow, "max in-flight cells per worker")
+		cellTimeout  = flag.Duration("cell-timeout", dist.DefaultCellTimeout, "per-attempt timeout for one remote cell")
+		cellRetries  = flag.Int("cell-retries", dist.DefaultRetries, "re-dispatches of a failed cell before the job fails")
+		hedgeAfter   = flag.Duration("hedge-after", 15*time.Second, "dispatch a straggling cell to a second worker after this long (0 disables)")
 	)
 	flag.Parse()
+	fatal := func(err error) {
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ndaserve: %v\n", err)
+			os.Exit(2)
+		}
+	}
+
+	simN, err := cliutil.WorkerCount(*simWorkers)
+	fatal(err)
+	if *queueDepth < 1 {
+		fatal(fmt.Errorf("-queue %d invalid: want a positive depth", *queueDepth))
+	}
+	if *jobWorkers < 1 {
+		fatal(fmt.Errorf("-job-workers %d invalid: want a positive count", *jobWorkers))
+	}
+	if *cacheMax < 1 {
+		fatal(fmt.Errorf("-cache-max-entries %d invalid: want a positive capacity", *cacheMax))
+	}
+	urls, err := cliutil.WorkerURLs(*workers)
+	fatal(err)
+
+	var fleet *dist.Coordinator
+	if len(urls) > 0 {
+		if *workerWindow < 1 {
+			fatal(fmt.Errorf("-worker-window %d invalid: want a positive window", *workerWindow))
+		}
+		if _, err := cliutil.PositiveDuration("-cell-timeout", *cellTimeout); err != nil {
+			fatal(err)
+		}
+		if *cellRetries < 0 {
+			fatal(fmt.Errorf("-cell-retries %d invalid: want 0 or more", *cellRetries))
+		}
+		if *hedgeAfter < 0 {
+			fatal(fmt.Errorf("-hedge-after %v invalid: want 0 (disabled) or a positive duration", *hedgeAfter))
+		}
+		fleet, err = dist.New(urls, dist.Options{
+			Window:      *workerWindow,
+			CellTimeout: *cellTimeout,
+			Retries:     *cellRetries,
+			HedgeAfter:  *hedgeAfter,
+		})
+		fatal(err)
+		defer fleet.Close()
+		fmt.Fprintf(os.Stderr, "ndaserve: coordinating %d workers (window %d/worker)\n", len(urls), *workerWindow)
+	}
 
 	mgr := serve.NewManager(serve.Config{
-		QueueDepth: *queueDepth,
-		JobWorkers: *jobWorkers,
-		SimWorkers: *simWorkers,
+		QueueDepth:      *queueDepth,
+		JobWorkers:      *jobWorkers,
+		SimWorkers:      simN,
+		CacheMaxEntries: *cacheMax,
+		Fleet:           fleet,
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
 

@@ -35,14 +35,19 @@ func main() {
 	flag.Parse()
 	params := ooo.DefaultParams()
 
+	nworkers, err := cliutil.WorkerCount(*workers)
+	check(err)
+	tmo, err := cliutil.Timeout(*timeout)
+	check(err)
+
 	// The context reaches every PoC core: on timeout or signal, queued
 	// matrix cells never start and in-flight PoCs stop mid-simulation.
-	ctx, cancel := cliutil.Context(*timeout)
+	ctx, cancel := cliutil.Context(tmo)
 	defer cancel()
 
 	ran := false
 	if *matrix {
-		runMatrix(ctx, params, *workers)
+		runMatrix(ctx, params, nworkers)
 		ran = true
 	}
 	if *fig4 {

@@ -15,6 +15,7 @@ import (
 	"syscall"
 	"time"
 
+	"nda/internal/dist"
 	"nda/internal/workload"
 )
 
@@ -48,6 +49,65 @@ func Specs(csv string) ([]workload.Spec, error) {
 		specs = append(specs, s)
 	}
 	return specs, nil
+}
+
+// WorkerURLs parses a comma-separated -workers fleet list. The empty
+// string means "no fleet" (local simulation) and returns nil; otherwise
+// every entry must be a valid absolute http/https worker URL, duplicates
+// are rejected, and at least one URL must survive trimming — "-workers ,"
+// is an error, not an accidental empty fleet.
+func WorkerURLs(csv string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var urls []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(csv, ",") {
+		if strings.TrimSpace(raw) == "" {
+			continue
+		}
+		u, err := dist.ParseWorkerURL(raw)
+		if err != nil {
+			return nil, err
+		}
+		if seen[u] {
+			return nil, fmt.Errorf("duplicate worker URL %q", u)
+		}
+		seen[u] = true
+		urls = append(urls, u)
+	}
+	if len(urls) < 1 {
+		return nil, errors.New("-workers given but no worker URLs in it")
+	}
+	return urls, nil
+}
+
+// WorkerCount validates a parallel-worker count flag: 0 means "one per
+// CPU", positive counts pass through, negative counts are an error rather
+// than a silent fallback.
+func WorkerCount(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("worker count %d invalid: want 0 (one per CPU) or a positive count", n)
+	}
+	return n, nil
+}
+
+// Timeout validates a -timeout style duration: 0 means "no limit",
+// positive durations pass through, negative durations are an error.
+func Timeout(d time.Duration) (time.Duration, error) {
+	if d < 0 {
+		return 0, fmt.Errorf("timeout %v invalid: want 0 (no limit) or a positive duration", d)
+	}
+	return d, nil
+}
+
+// PositiveDuration validates a duration flag that must be strictly
+// positive (per-attempt timeouts, drain budgets). name labels the error.
+func PositiveDuration(name string, d time.Duration) (time.Duration, error) {
+	if d <= 0 {
+		return 0, fmt.Errorf("%s %v invalid: want a positive duration", name, d)
+	}
+	return d, nil
 }
 
 // ExplainErr rewrites context cancellation errors into the message the

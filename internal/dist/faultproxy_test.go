@@ -1,0 +1,133 @@
+package dist_test
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"nda/internal/dist"
+)
+
+// faultRig is a FaultProxy in front of a trivial backend that counts the
+// requests actually reaching it.
+type faultRig struct {
+	proxy   *dist.FaultProxy
+	url     string
+	reached *atomic.Int64
+}
+
+func newFaultRig(t *testing.T) *faultRig {
+	t.Helper()
+	var reached atomic.Int64
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		reached.Add(1)
+		io.WriteString(w, "ok:"+r.URL.Path)
+	}))
+	t.Cleanup(backend.Close)
+	proxy, err := dist.NewFaultProxy(backend.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	front := httptest.NewServer(proxy)
+	t.Cleanup(front.Close)
+	return &faultRig{proxy: proxy, url: front.URL, reached: &reached}
+}
+
+func (f *faultRig) get(t *testing.T) (int, string, error) {
+	t.Helper()
+	resp, err := http.Get(f.url + "/healthz")
+	if err != nil {
+		return 0, "", err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	return resp.StatusCode, string(body), nil
+}
+
+// TestFaultProxyTransparent: with no faults armed the proxy forwards
+// verbatim, path included.
+func TestFaultProxyTransparent(t *testing.T) {
+	f := newFaultRig(t)
+	code, body, err := f.get(t)
+	if err != nil || code != http.StatusOK || body != "ok:/healthz" {
+		t.Fatalf("proxied GET = %d %q, %v", code, body, err)
+	}
+	if f.reached.Load() != 1 || f.proxy.Requests() != 1 || f.proxy.Faulted() != 0 {
+		t.Errorf("counters: backend=%d requests=%d faulted=%d", f.reached.Load(), f.proxy.Requests(), f.proxy.Faulted())
+	}
+}
+
+// TestFaultProxyFail: Fail(n) answers 500 exactly n times without touching
+// the backend, then recovers.
+func TestFaultProxyFail(t *testing.T) {
+	f := newFaultRig(t)
+	f.proxy.Fail(2)
+	for i := 0; i < 2; i++ {
+		code, _, err := f.get(t)
+		if err != nil || code != http.StatusInternalServerError {
+			t.Fatalf("fault %d: %d, %v; want injected 500", i, code, err)
+		}
+	}
+	if f.reached.Load() != 0 {
+		t.Errorf("injected 500s reached the backend %d times", f.reached.Load())
+	}
+	if code, _, err := f.get(t); err != nil || code != http.StatusOK {
+		t.Fatalf("after Fail budget: %d, %v; want recovery", code, err)
+	}
+	if f.proxy.Faulted() != 2 {
+		t.Errorf("Faulted = %d, want 2", f.proxy.Faulted())
+	}
+}
+
+// TestFaultProxyDrop: Drop(n) aborts the connection so the client sees a
+// transport error, not an HTTP status.
+func TestFaultProxyDrop(t *testing.T) {
+	f := newFaultRig(t)
+	f.proxy.Drop(1)
+	if _, _, err := f.get(t); err == nil {
+		t.Fatal("dropped request produced a response; want a transport error")
+	}
+	if code, _, err := f.get(t); err != nil || code != http.StatusOK {
+		t.Fatalf("after Drop budget: %d, %v; want recovery", code, err)
+	}
+}
+
+// TestFaultProxyKillRevive: Kill aborts everything until Revive.
+func TestFaultProxyKillRevive(t *testing.T) {
+	f := newFaultRig(t)
+	f.proxy.Kill()
+	for i := 0; i < 3; i++ {
+		if _, _, err := f.get(t); err == nil {
+			t.Fatalf("request %d during Kill succeeded", i)
+		}
+	}
+	f.proxy.Revive()
+	if code, _, err := f.get(t); err != nil || code != http.StatusOK {
+		t.Fatalf("after Revive: %d, %v", code, err)
+	}
+	if f.proxy.Faulted() != 3 {
+		t.Errorf("Faulted = %d, want 3", f.proxy.Faulted())
+	}
+}
+
+// TestFaultProxyDelay: Delay adds at least the configured latency.
+func TestFaultProxyDelay(t *testing.T) {
+	f := newFaultRig(t)
+	f.proxy.Delay(50 * time.Millisecond)
+	start := time.Now()
+	if code, _, err := f.get(t); err != nil || code != http.StatusOK {
+		t.Fatalf("delayed GET = %d, %v", code, err)
+	}
+	if took := time.Since(start); took < 50*time.Millisecond {
+		t.Errorf("delayed request returned in %v, want >= 50ms", took)
+	}
+	f.proxy.Delay(0)
+	start = time.Now()
+	f.get(t)
+	if took := time.Since(start); took > 40*time.Millisecond {
+		t.Errorf("request after Delay(0) took %v; delay not removed", took)
+	}
+}

@@ -253,6 +253,28 @@ type Sweep struct {
 	Cells     map[string]map[string]*Measurement // config -> workload -> cell
 }
 
+// NewSweep returns an empty grid with the given axes. Both the local sweep
+// engine and the distributed merge path build their result through this
+// and Set, so a fleet-assembled sweep has exactly the shape a local run
+// produces.
+func NewSweep(workloads, configs []string) *Sweep {
+	return &Sweep{
+		Workloads: append([]string(nil), workloads...),
+		Configs:   append([]string(nil), configs...),
+		Cells:     make(map[string]map[string]*Measurement),
+	}
+}
+
+// Set stores one cell.
+func (s *Sweep) Set(config, workload string, m *Measurement) {
+	cells := s.Cells[config]
+	if cells == nil {
+		cells = make(map[string]*Measurement)
+		s.Cells[config] = cells
+	}
+	cells[workload] = m
+}
+
 // Get returns one cell (nil if missing).
 func (s *Sweep) Get(config, workload string) *Measurement {
 	if m, ok := s.Cells[config]; ok {
@@ -321,16 +343,17 @@ func RunSweep(specs []workload.Spec, policies []core.Policy, includeInOrder bool
 // ctx.Done()), no further progress lines are emitted, and the ctx error is
 // returned. Job errors from cells that ran take precedence.
 func RunSweepCtx(ctx context.Context, specs []workload.Spec, policies []core.Policy, includeInOrder bool, cfg Config, progress func(string)) (*Sweep, error) {
-	sw := &Sweep{Cells: make(map[string]map[string]*Measurement)}
+	var workloads, configs []string
 	for _, spec := range specs {
-		sw.Workloads = append(sw.Workloads, spec.Name)
+		workloads = append(workloads, spec.Name)
 	}
 	for _, pol := range policies {
-		sw.Configs = append(sw.Configs, pol.Name)
+		configs = append(configs, pol.Name)
 	}
 	if includeInOrder {
-		sw.Configs = append(sw.Configs, InOrderName)
+		configs = append(configs, InOrderName)
 	}
+	sw := NewSweep(workloads, configs)
 
 	// In checkpoint mode the sampling points depend only on the workload,
 	// so each workload's series is captured once (in parallel) and shared
@@ -431,12 +454,7 @@ func RunSweepCtx(ctx context.Context, specs []workload.Spec, policies []core.Pol
 	}
 
 	for i, j := range jobs {
-		cells := sw.Cells[j.config]
-		if cells == nil {
-			cells = make(map[string]*Measurement)
-			sw.Cells[j.config] = cells
-		}
-		cells[j.spec.Name] = results[i]
+		sw.Set(j.config, j.spec.Name, results[i])
 	}
 	return sw, nil
 }

@@ -38,6 +38,51 @@ func Run(n, workers int, job func(i int) error) error {
 	return RunCtx(context.Background(), n, workers, job)
 }
 
+// Sem is a counting semaphore with context-aware acquisition. The dispatch
+// layers use it to bound in-flight work per resource — one Sem per remote
+// worker caps how many cells the coordinator may have outstanding there —
+// the same way the pool's worker count bounds local fan-out.
+type Sem struct {
+	ch chan struct{}
+}
+
+// NewSem returns a semaphore with n slots (n < 1 is treated as 1).
+func NewSem(n int) *Sem {
+	if n < 1 {
+		n = 1
+	}
+	return &Sem{ch: make(chan struct{}, n)}
+}
+
+// Acquire takes a slot, blocking until one frees or ctx ends.
+func (s *Sem) Acquire(ctx context.Context) error {
+	select {
+	case s.ch <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// TryAcquire takes a slot only if one is free right now.
+func (s *Sem) TryAcquire() bool {
+	select {
+	case s.ch <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+// Release frees a slot taken by Acquire or TryAcquire.
+func (s *Sem) Release() { <-s.ch }
+
+// InUse reports how many slots are currently held (a queue-depth gauge).
+func (s *Sem) InUse() int { return len(s.ch) }
+
+// Cap reports the slot count.
+func (s *Sem) Cap() int { return cap(s.ch) }
+
 // RunCtx is Run with cancellation: once ctx is done, no queued job starts.
 // In-flight jobs run to completion unless they observe ctx themselves (the
 // simulation drivers pass ctx.Done() down to the cores, so long cells stop

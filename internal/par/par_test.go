@@ -167,3 +167,59 @@ func TestRunCtxBackgroundMatchesRun(t *testing.T) {
 		t.Fatalf("ran %d of 50 jobs", hits.Load())
 	}
 }
+
+// TestSemBoundsConcurrency: a Sem with n slots never admits more than n
+// concurrent holders, and Acquire respects a dead context.
+func TestSemBoundsConcurrency(t *testing.T) {
+	s := NewSem(3)
+	if s.Cap() != 3 {
+		t.Fatalf("Cap = %d, want 3", s.Cap())
+	}
+	var cur, peak atomic.Int64
+	if err := RunCtx(context.Background(), 64, 16, func(int) error {
+		if err := s.Acquire(context.Background()); err != nil {
+			return err
+		}
+		defer s.Release()
+		n := cur.Add(1)
+		defer cur.Add(-1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 3 {
+		t.Errorf("peak concurrency %d exceeds 3 slots", p)
+	}
+	if s.InUse() != 0 {
+		t.Errorf("InUse = %d after all releases", s.InUse())
+	}
+
+	// Full semaphore: TryAcquire refuses, Acquire honors cancellation.
+	for i := 0; i < 3; i++ {
+		if !s.TryAcquire() {
+			t.Fatal("TryAcquire failed on free slot")
+		}
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded on full semaphore")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := s.Acquire(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Acquire on full sem = %v, want context.Canceled", err)
+	}
+}
+
+// TestSemMinimumOneSlot: a non-positive size still admits one holder.
+func TestSemMinimumOneSlot(t *testing.T) {
+	s := NewSem(0)
+	if s.Cap() != 1 {
+		t.Fatalf("Cap = %d, want 1", s.Cap())
+	}
+}

@@ -1,14 +1,15 @@
 package serve
 
 import (
+	"container/list"
 	"context"
 	"sync"
 )
 
 // Cache is the content-addressed result store with singleflight
-// deduplication. Values are keyed by Key(...) hashes of their full input
-// description, so a hit is by construction the same result a fresh
-// simulation would produce.
+// deduplication and an LRU entry cap. Values are keyed by Key(...) hashes
+// of their full input description, so a hit is by construction the same
+// result a fresh simulation would produce.
 //
 // Concurrency contract: the first caller of Do for a key computes the
 // value; concurrent callers for the same key block until that computation
@@ -16,20 +17,42 @@ import (
 // Failed computations are not cached: the entry is removed before waiters
 // wake, and each waiter retries, so a job cancelled mid-flight never
 // poisons the cache for later requests.
+//
+// Bounding: a long-lived coordinator sees an unbounded stream of distinct
+// cells, so ready entries beyond the cap are evicted least-recently-used.
+// In-flight entries are pinned (they are not results yet and other callers
+// may be joined on them); they enter the LRU order when they complete.
+// Eviction affects only memory and future hit rates — a re-asked evicted
+// cell recomputes to the identical value.
 type Cache struct {
-	mu sync.Mutex
-	m  map[string]*cacheEntry
+	mu      sync.Mutex
+	max     int // > 0; ready entries beyond this are evicted LRU
+	m       map[string]*cacheEntry
+	lru     list.List // ready entries, front = most recently used
+	onEvict func()    // optional eviction hook (metrics)
 }
 
 type cacheEntry struct {
+	key   string
 	ready chan struct{} // closed when val/err are final
 	val   any
 	err   error
+	elem  *list.Element // nil while in flight
 }
 
-// NewCache returns an empty cache.
-func NewCache() *Cache {
-	return &Cache{m: make(map[string]*cacheEntry)}
+// DefaultCacheMaxEntries is the generous default cap: far above any single
+// evaluation's cell count, small enough that a coordinator serving heavy
+// traffic for months stays bounded.
+const DefaultCacheMaxEntries = 1 << 16
+
+// NewCache returns an empty cache holding at most max ready entries
+// (max <= 0 means DefaultCacheMaxEntries). onEvict, if non-nil, is called
+// once per evicted entry.
+func NewCache(max int, onEvict func()) *Cache {
+	if max <= 0 {
+		max = DefaultCacheMaxEntries
+	}
+	return &Cache{max: max, m: make(map[string]*cacheEntry), onEvict: onEvict}
 }
 
 // Len returns the number of cached (successful) or in-flight entries.
@@ -49,6 +72,7 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[key]; ok {
+			c.touch(e)
 			c.mu.Unlock()
 			select {
 			case <-e.ready:
@@ -65,17 +89,45 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 				return nil, false, ctx.Err()
 			}
 		}
-		e := &cacheEntry{ready: make(chan struct{})}
+		e := &cacheEntry{key: key, ready: make(chan struct{})}
 		c.m[key] = e
 		c.mu.Unlock()
 
 		e.val, e.err = compute()
+		c.mu.Lock()
 		if e.err != nil {
-			c.mu.Lock()
 			delete(c.m, key)
-			c.mu.Unlock()
+		} else {
+			e.elem = c.lru.PushFront(e)
+			c.evictOver()
 		}
+		c.mu.Unlock()
 		close(e.ready)
 		return e.val, false, e.err
+	}
+}
+
+// touch marks a ready entry most-recently-used. Called with c.mu held.
+func (c *Cache) touch(e *cacheEntry) {
+	if e.elem != nil {
+		c.lru.MoveToFront(e.elem)
+	}
+}
+
+// evictOver drops least-recently-used ready entries until the cap holds.
+// Called with c.mu held. Waiters already joined on an evicted entry keep
+// their reference and still receive its value; only the map loses it.
+func (c *Cache) evictOver() {
+	for c.lru.Len() > c.max {
+		back := c.lru.Back()
+		if back == nil {
+			return
+		}
+		e := c.lru.Remove(back).(*cacheEntry)
+		e.elem = nil
+		delete(c.m, e.key)
+		if c.onEvict != nil {
+			c.onEvict()
+		}
 	}
 }

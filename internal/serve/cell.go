@@ -1,0 +1,148 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+
+	"nda/internal/attack"
+	"nda/internal/core"
+	"nda/internal/gadget"
+	"nda/internal/harness"
+	"nda/internal/workload"
+)
+
+// CellRequest is the fleet's unit of work: exactly one simulation cell,
+// shipped by a coordinator to a worker as POST /v1/cell and answered with
+// the cell's canonical JSON (a harness.Measurement, an attack.Outcome, or
+// a gadget.ProgramReport, by kind). It deliberately mirrors the result
+// cache's cell keys — a cell's response is a pure function of this request
+// — which is what makes a fleet-merged table byte-identical to a local
+// run: the coordinator assembles the same values into the same slots.
+//
+// The attack kind carries no ooo.Params: workers simulate attack cells
+// under their own configured params, so a fleet must be homogeneous (every
+// worker started with the same build and defaults), exactly as a batch
+// cluster's array jobs assume a uniform image.
+type CellRequest struct {
+	Kind string `json:"kind"` // "sweep", "attack", or "gadget"
+
+	// Sweep cells.
+	Workload string       `json:"workload,omitempty"`
+	InOrder  bool         `json:"in_order,omitempty"`
+	Sampling SamplingSpec `json:"sampling,omitempty"`
+
+	// Sweep (when InOrder is false) and attack cells.
+	Policy string `json:"policy,omitempty"`
+
+	// Attack cells.
+	Attack string `json:"attack,omitempty"`
+
+	// Gadget cells.
+	Program string `json:"program,omitempty"`
+}
+
+// cellTask is the validated, name-resolved form of a CellRequest.
+type cellTask struct {
+	kind string
+
+	spec workload.Spec
+	pol  core.Policy
+	in   bool
+	cfg  harness.Config
+	spl  SamplingSpec
+
+	attack attack.Kind
+	gadget gadget.Input
+}
+
+func (r CellRequest) task() (*cellTask, error) {
+	t := &cellTask{kind: r.Kind}
+	switch r.Kind {
+	case "sweep":
+		s, err := workload.ByName(r.Workload)
+		if err != nil {
+			return nil, err
+		}
+		t.spec, t.in, t.spl = s, r.InOrder, r.Sampling
+		t.cfg = r.Sampling.resolve()
+		if r.InOrder {
+			if r.Policy != "" {
+				return nil, fmt.Errorf("serve: in-order cell must not name a policy (got %q)", r.Policy)
+			}
+		} else {
+			if t.pol, err = core.ByName(r.Policy); err != nil {
+				return nil, err
+			}
+		}
+	case "attack":
+		known := false
+		for _, k := range attack.All() {
+			known = known || k == attack.Kind(r.Attack)
+		}
+		if !known {
+			return nil, fmt.Errorf("serve: unknown attack %q", r.Attack)
+		}
+		t.attack, t.in = attack.Kind(r.Attack), r.InOrder
+		if !r.InOrder {
+			var err error
+			if t.pol, err = core.ByName(r.Policy); err != nil {
+				return nil, err
+			}
+		}
+	case "gadget":
+		builtins, err := gadget.Builtins()
+		if err != nil {
+			return nil, err
+		}
+		found := false
+		for _, in := range builtins {
+			if in.Name == r.Program {
+				t.gadget, found = in, true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("serve: unknown program %q", r.Program)
+		}
+	default:
+		return nil, fmt.Errorf("serve: unknown cell kind %q (want sweep, attack, or gadget)", r.Kind)
+	}
+	return t, nil
+}
+
+// RunCell evaluates one validated cell synchronously (no job queue: cells
+// are the fleet's smallest work unit, bounded by the coordinator's
+// per-worker windows, not by this worker's job queue). The result is
+// resolved through this worker's cache like any local cell, so a fleet in
+// front of warmed workers costs one HTTP round-trip per cell and nothing
+// else.
+func (m *Manager) runCell(ctx context.Context, t *cellTask) (any, error) {
+	switch t.kind {
+	case "sweep":
+		return m.measureCell(ctx, nil, t.spec, t.pol, t.in, t.cfg, t.spl)
+	case "attack":
+		return m.attackCell(ctx, nil, t.attack, t.pol, t.in)
+	default:
+		return m.gadgetCell(ctx, nil, t.gadget)
+	}
+}
+
+// remoteCell dispatches one cell to the fleet and decodes the winning
+// response into out. The job's per-worker progress counters absorb the
+// dispatch record (retries, hedges, the worker that served it).
+func (m *Manager) remoteCell(ctx context.Context, j *Job, req CellRequest, out any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	raw, stat, err := m.cfg.Fleet.Do(ctx, "/v1/cell", body)
+	j.noteDispatch(stat)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("serve: undecodable cell response from %s: %w", stat.Worker, err)
+	}
+	return nil
+}

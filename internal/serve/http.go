@@ -1,6 +1,7 @@
 package serve
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -13,6 +14,7 @@ import (
 //	POST /v1/sweep     submit a performance sweep        (body: SweepRequest)
 //	POST /v1/attack    submit a security-matrix run      (body: AttackRequest)
 //	POST /v1/gadgets   submit a static gadget census     (body: GadgetsRequest)
+//	POST /v1/cell      evaluate one cell synchronously   (body: CellRequest)
 //	GET  /v1/jobs      list jobs in submission order
 //	GET  /v1/jobs/{id} job status and progress
 //	GET  /v1/jobs/{id}/result  the result JSON (409 until done)
@@ -34,6 +36,36 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/gadgets", func(w http.ResponseWriter, r *http.Request) {
 		submit(m, w, r, func(req GadgetsRequest) (*Job, error) { return m.SubmitGadgets(req) })
+	})
+	// The fleet's work unit: one cell, evaluated synchronously through
+	// this worker's cache, bypassing the job queue (coordinators bound
+	// their own dispatch with per-worker windows).
+	mux.HandleFunc("POST /v1/cell", func(w http.ResponseWriter, r *http.Request) {
+		var req CellRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+			return
+		}
+		t, err := req.task()
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		v, err := m.runCell(r.Context(), t)
+		switch {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			// The coordinator hung up (hedge lost, retry timeout): the
+			// status is never seen, but close the exchange cleanly.
+			writeError(w, http.StatusRequestTimeout, err.Error())
+			return
+		case err != nil:
+			writeError(w, http.StatusInternalServerError, err.Error())
+			return
+		}
+		m.Metrics().CellsServed.Add(1)
+		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, m.Jobs())
@@ -67,6 +99,9 @@ func NewHandler(m *Manager) http.Handler {
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		fmt.Fprint(w, m.Metrics().Render())
+		if f := m.Fleet(); f != nil {
+			fmt.Fprint(w, f.RenderMetrics())
+		}
 	})
 	return mux
 }

@@ -20,8 +20,11 @@ type Metrics struct {
 	JobsFailed    atomic.Int64 // jobs finished with an error
 	JobsCancelled atomic.Int64 // jobs ended by cancellation or timeout
 
-	CacheHits   atomic.Int64 // cells served from the result cache
-	CacheMisses atomic.Int64 // cells that had to simulate
+	CacheHits      atomic.Int64 // cells served from the result cache
+	CacheMisses    atomic.Int64 // cells that had to simulate
+	CacheEvictions atomic.Int64 // ready entries dropped by the LRU cap
+
+	CellsServed atomic.Int64 // worker-side /v1/cell requests completed
 
 	Simulations     atomic.Int64 // detailed simulations actually run
 	CyclesSimulated atomic.Int64 // total measured cycles across them
@@ -55,6 +58,8 @@ func (m *Metrics) Render() string {
 	counter("nda_jobs_cancelled_total", "jobs ended by cancellation or timeout", m.JobsCancelled.Load())
 	counter("nda_cache_hits_total", "simulation cells served from the result cache", m.CacheHits.Load())
 	counter("nda_cache_misses_total", "simulation cells that had to simulate", m.CacheMisses.Load())
+	counter("nda_cache_evictions_total", "result-cache entries evicted by the LRU cap", m.CacheEvictions.Load())
+	counter("nda_cells_served_total", "worker-side /v1/cell requests completed", m.CellsServed.Load())
 	counter("nda_simulations_total", "detailed simulations run", m.Simulations.Load())
 	counter("nda_cycles_simulated_total", "measured cycles across all simulations", m.CyclesSimulated.Load())
 	fmt.Fprintf(&b, "# HELP nda_jobs_running jobs currently executing\n# TYPE nda_jobs_running gauge\nnda_jobs_running %d\n", m.JobsRunning.Load())

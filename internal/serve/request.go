@@ -66,16 +66,20 @@ type SweepRequest struct {
 	Sampling  SamplingSpec `json:"sampling,omitempty"`
 }
 
-// sweepTask is the validated, name-resolved form of a SweepRequest.
+// sweepTask is the validated, name-resolved form of a SweepRequest. It
+// keeps the sampling spec as written alongside the resolved config: cache
+// keys hash the resolved config, while fleet dispatch forwards the spec so
+// workers resolve it to the identical config themselves.
 type sweepTask struct {
-	specs   []workload.Spec
-	pols    []core.Policy
-	inOrder bool
-	cfg     harness.Config
+	specs    []workload.Spec
+	pols     []core.Policy
+	inOrder  bool
+	cfg      harness.Config
+	sampling SamplingSpec
 }
 
 func (r SweepRequest) task() (*sweepTask, error) {
-	t := &sweepTask{inOrder: !r.NoInOrder, cfg: r.Sampling.resolve()}
+	t := &sweepTask{inOrder: !r.NoInOrder, cfg: r.Sampling.resolve(), sampling: r.Sampling}
 	if len(r.Workloads) == 0 {
 		t.specs = workload.SPEC()
 	} else {

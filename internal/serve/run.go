@@ -19,6 +19,12 @@ import (
 // A repeated request — or a different request that shares cells with an
 // earlier one (a sweep over a workload subset, say, after a full sweep) —
 // is assembled from memory without re-simulation.
+//
+// With a fleet configured (Config.Fleet), the cache-miss path dispatches
+// the cell to a remote worker instead of simulating here; everything else
+// — decomposition, keys, merge order, error semantics — is shared with the
+// local path, which is why a fleet-merged result is byte-identical to a
+// single-process run.
 
 // sweepCellKey describes everything a sweep cell's result depends on. The
 // embedded harness.Config carries the full sampling spec and ooo.Params;
@@ -80,7 +86,7 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 	results := make([]*harness.Measurement, len(cells))
 	err := par.RunCtx(ctx, len(cells), m.simWorkers(), func(i int) error {
 		c := cells[i]
-		mres, err := m.measureCell(ctx, j, c.spec, c.pol, c.inOrder, cellCfg)
+		mres, err := m.measureCell(ctx, j, c.spec, c.pol, c.inOrder, cellCfg, t.sampling)
 		if err != nil {
 			return err
 		}
@@ -92,27 +98,23 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 		return nil, err
 	}
 
-	sw := &harness.Sweep{Cells: make(map[string]map[string]*harness.Measurement)}
+	var workloads, configs []string
 	for _, spec := range t.specs {
-		sw.Workloads = append(sw.Workloads, spec.Name)
+		workloads = append(workloads, spec.Name)
 	}
 	for _, pol := range t.pols {
-		sw.Configs = append(sw.Configs, pol.Name)
+		configs = append(configs, pol.Name)
 	}
 	if t.inOrder {
-		sw.Configs = append(sw.Configs, harness.InOrderName)
+		configs = append(configs, harness.InOrderName)
 	}
+	sw := harness.NewSweep(workloads, configs)
 	for i, c := range cells {
 		name := harness.InOrderName
 		if !c.inOrder {
 			name = c.pol.Name
 		}
-		byWorkload := sw.Cells[name]
-		if byWorkload == nil {
-			byWorkload = make(map[string]*harness.Measurement)
-			sw.Cells[name] = byWorkload
-		}
-		byWorkload[c.spec.Name] = results[i]
+		sw.Set(name, c.spec.Name, results[i])
 	}
 
 	resp := &SweepResponse{Sweep: sw}
@@ -129,14 +131,29 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 }
 
 // measureCell resolves one sweep cell through the cache, simulating on a
-// miss. In checkpoint mode the workload's sample series is itself cache-
-// resolved first, so the functional fast-forward and checkpoint capture
-// also happen once per (workload, sampling spec) per process.
-func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, pol core.Policy, inOrder bool, cfg harness.Config) (*harness.Measurement, error) {
+// miss — or, with a fleet configured, dispatching the miss to a remote
+// worker carrying the original sampling spec (the worker resolves it to
+// the identical harness.Config). In local checkpoint mode the workload's
+// sample series is itself cache-resolved first, so the functional
+// fast-forward and checkpoint capture also happen once per (workload,
+// sampling spec) per process; in fleet mode the series lives and is
+// reused on whichever workers simulate that workload's cells.
+func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, pol core.Policy, inOrder bool, cfg harness.Config, sampling SamplingSpec) (*harness.Measurement, error) {
 	keyCfg := cfg
 	keyCfg.Workers = 0
 	key := Key("sweep-cell", sweepCellKey{Workload: spec.Name, InOrder: inOrder, Policy: pol, Config: keyCfg})
 	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+		if m.cfg.Fleet != nil {
+			req := CellRequest{Kind: "sweep", Workload: spec.Name, InOrder: inOrder, Sampling: sampling}
+			if !inOrder {
+				req.Policy = pol.Name
+			}
+			var mres harness.Measurement
+			if err := m.remoteCell(ctx, j, req, &mres); err != nil {
+				return nil, err
+			}
+			return &mres, nil
+		}
 		var mres *harness.Measurement
 		var err error
 		switch {
@@ -229,10 +246,22 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 	return resp, nil
 }
 
-// attackCell resolves one (attack, policy) outcome through the cache.
+// attackCell resolves one (attack, policy) outcome through the cache,
+// simulating locally or dispatching to the fleet on a miss.
 func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol core.Policy, inOrder bool) (*attack.Outcome, error) {
 	key := Key("attack-cell", attackCellKey{Attack: kind, InOrder: inOrder, Policy: pol, Params: m.cfg.Params})
 	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+		if m.cfg.Fleet != nil {
+			req := CellRequest{Kind: "attack", Attack: string(kind), InOrder: inOrder}
+			if !inOrder {
+				req.Policy = pol.Name
+			}
+			var out attack.Outcome
+			if err := m.remoteCell(ctx, j, req, &out); err != nil {
+				return nil, err
+			}
+			return &out, nil
+		}
 		var out *attack.Outcome
 		var err error
 		if inOrder {
@@ -273,16 +302,11 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 		if !ok {
 			return fmt.Errorf("serve: unknown program %q", t.ins[i].name)
 		}
-		key := Key("gadget", gadgetKey{Program: in.Name, Window: gadget.DefaultWindow})
-		v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
-			an := gadget.Analyze(in.Prog, in.Cfg)
-			return gadget.NewProgramReport(in.Name, in.Group, an, in.Group == "attack"), nil
-		})
+		pr, err := m.gadgetCell(ctx, j, in)
 		if err != nil {
 			return err
 		}
-		m.noteCacheUse(j, hit)
-		report.Programs[i] = v.(gadget.ProgramReport)
+		report.Programs[i] = pr
 		j.done.Add(1)
 		return nil
 	})
@@ -292,14 +316,41 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 	return report, nil
 }
 
+// gadgetCell resolves one program's census entry through the cache,
+// analyzing locally or dispatching to the fleet on a miss.
+func (m *Manager) gadgetCell(ctx context.Context, j *Job, in gadget.Input) (gadget.ProgramReport, error) {
+	key := Key("gadget", gadgetKey{Program: in.Name, Window: gadget.DefaultWindow})
+	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+		if m.cfg.Fleet != nil {
+			var pr gadget.ProgramReport
+			if err := m.remoteCell(ctx, j, CellRequest{Kind: "gadget", Program: in.Name}, &pr); err != nil {
+				return nil, err
+			}
+			return pr, nil
+		}
+		an := gadget.Analyze(in.Prog, in.Cfg)
+		return gadget.NewProgramReport(in.Name, in.Group, an, in.Group == "attack"), nil
+	})
+	if err != nil {
+		return gadget.ProgramReport{}, err
+	}
+	m.noteCacheUse(j, hit)
+	return v.(gadget.ProgramReport), nil
+}
+
 // noteCacheUse folds one cell's cache outcome into the job's and the
-// service's counters.
+// service's counters. j may be nil: the worker-side /v1/cell path serves
+// cells with no job behind them.
 func (m *Manager) noteCacheUse(j *Job, hit bool) {
 	if hit {
-		j.hits.Add(1)
+		if j != nil {
+			j.hits.Add(1)
+		}
 		m.metrics.CacheHits.Add(1)
 	} else {
-		j.misses.Add(1)
+		if j != nil {
+			j.misses.Add(1)
+		}
 		m.metrics.CacheMisses.Add(1)
 	}
 }

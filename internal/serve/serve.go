@@ -21,9 +21,11 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
+	"nda/internal/dist"
 	"nda/internal/ooo"
 	"nda/internal/par"
 )
@@ -59,15 +61,58 @@ type Job struct {
 	total, done  atomic.Int64
 	hits, misses atomic.Int64
 
-	mu     sync.Mutex
-	state  JobState
-	errMsg string
-	result []byte // canonical JSON, set once on success
-	cancel context.CancelFunc
+	mu        sync.Mutex
+	state     JobState
+	errMsg    string
+	result    []byte // canonical JSON, set once on success
+	cancel    context.CancelFunc
+	perWorker map[string]*WorkerCells // distributed jobs: per-worker cell counts
 
 	doneCh chan struct{} // closed when the job reaches a terminal state
 
 	run func(ctx context.Context, j *Job) (any, error)
+}
+
+// WorkerCells is one worker's share of a distributed job: how many cell
+// attempts it was sent, how many cells it completed, and how many of its
+// attempts were retries or hedges.
+type WorkerCells struct {
+	Worker     string `json:"worker"`
+	Dispatched int64  `json:"dispatched"`
+	Done       int64  `json:"done"`
+	Retried    int64  `json:"retried"`
+	Hedged     int64  `json:"hedged"`
+}
+
+// noteDispatch folds one distributed cell's dispatch record into the job's
+// per-worker counts. Safe on a nil job (the /v1/cell worker path has no
+// job behind it).
+func (j *Job) noteDispatch(stat dist.Stat) {
+	if j == nil || len(stat.Attempts) == 0 {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.perWorker == nil {
+		j.perWorker = make(map[string]*WorkerCells)
+	}
+	for _, a := range stat.Attempts {
+		wc := j.perWorker[a.Worker]
+		if wc == nil {
+			wc = &WorkerCells{Worker: a.Worker}
+			j.perWorker[a.Worker] = wc
+		}
+		wc.Dispatched++
+		if a.OK {
+			wc.Done++
+		}
+		if a.Retry {
+			wc.Retried++
+		}
+		if a.Hedge {
+			wc.Hedged++
+		}
+	}
 }
 
 // ID returns the job's identifier.
@@ -85,13 +130,16 @@ type Status struct {
 	CacheHits   int64    `json:"cache_hits"`
 	CacheMisses int64    `json:"cache_misses"`
 	Error       string   `json:"error,omitempty"`
+	// Workers breaks a distributed job's progress down per fleet worker,
+	// sorted by worker URL; empty for locally-simulated jobs.
+	Workers []WorkerCells `json:"workers,omitempty"`
 }
 
 // Status returns a point-in-time snapshot.
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return Status{
+	st := Status{
 		ID:          j.id,
 		Kind:        j.kind,
 		State:       j.state,
@@ -101,6 +149,11 @@ func (j *Job) Status() Status {
 		CacheMisses: j.misses.Load(),
 		Error:       j.errMsg,
 	}
+	for _, wc := range j.perWorker {
+		st.Workers = append(st.Workers, *wc)
+	}
+	sort.Slice(st.Workers, func(a, b int) bool { return st.Workers[a].Worker < st.Workers[b].Worker })
+	return st
 }
 
 // Result returns the job's result JSON and whether it is available yet.
@@ -137,6 +190,15 @@ type Config struct {
 	// value means ooo.DefaultParams (sweeps carry their own Params inside
 	// the sampling config).
 	Params ooo.Params
+	// CacheMaxEntries caps the result cache (LRU eviction beyond it);
+	// 0 means DefaultCacheMaxEntries.
+	CacheMaxEntries int
+	// Fleet, when non-nil, turns the manager into a coordinator: cells
+	// that miss the result cache are dispatched to the fleet's workers
+	// over /v1/cell instead of simulating in this process. The cache
+	// stays in front, so repeated and overlapping requests are still
+	// served locally without touching the fleet.
+	Fleet *dist.Coordinator
 }
 
 // Manager owns the queue, the workers, and the result cache.
@@ -172,13 +234,13 @@ func NewManager(cfg Config) *Manager {
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
-		cache:      NewCache(),
 		metrics:    NewMetrics(),
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
+	m.cache = NewCache(cfg.CacheMaxEntries, func() { m.metrics.CacheEvictions.Add(1) })
 	for i := 0; i < cfg.JobWorkers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -191,6 +253,9 @@ func (m *Manager) Metrics() *Metrics { return m.metrics }
 
 // Cache exposes the result cache (tests and diagnostics).
 func (m *Manager) Cache() *Cache { return m.cache }
+
+// Fleet exposes the distributed backend; nil when simulating locally.
+func (m *Manager) Fleet() *dist.Coordinator { return m.cfg.Fleet }
 
 // Get returns a job by ID.
 func (m *Manager) Get(id string) (*Job, bool) {
@@ -377,5 +442,12 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	}
 }
 
-// simWorkers resolves the per-job fan-out width.
-func (m *Manager) simWorkers() int { return par.Workers(m.cfg.SimWorkers) }
+// simWorkers resolves the per-job fan-out width: locally one goroutine per
+// configured sim worker; as a coordinator, enough to fill every worker's
+// in-flight window (the goroutines mostly block on I/O, not simulate).
+func (m *Manager) simWorkers() int {
+	if m.cfg.Fleet != nil {
+		return m.cfg.Fleet.Capacity()
+	}
+	return par.Workers(m.cfg.SimWorkers)
+}

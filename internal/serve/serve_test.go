@@ -33,7 +33,7 @@ func TestKeyDeterministic(t *testing.T) {
 // exactly once; everyone shares the result and all but the owner report a
 // hit.
 func TestCacheSingleflight(t *testing.T) {
-	c := NewCache()
+	c := NewCache(0, nil)
 	var computes, hits atomic.Int64
 	gate := make(chan struct{})
 	var wg sync.WaitGroup
@@ -71,7 +71,7 @@ func TestCacheSingleflight(t *testing.T) {
 // TestCacheErrorNotCached: a failed computation (a cancelled job, say) must
 // not poison the key — the next caller computes afresh.
 func TestCacheErrorNotCached(t *testing.T) {
-	c := NewCache()
+	c := NewCache(0, nil)
 	boom := errors.New("boom")
 	if _, _, err := c.Do(context.Background(), "k", func() (any, error) { return nil, boom }); !errors.Is(err, boom) {
 		t.Fatalf("err = %v", err)
@@ -88,7 +88,7 @@ func TestCacheErrorNotCached(t *testing.T) {
 // TestCacheWaiterHonorsContext: a caller waiting on someone else's flight
 // gives up when its own context dies; the flight itself is unaffected.
 func TestCacheWaiterHonorsContext(t *testing.T) {
-	c := NewCache()
+	c := NewCache(0, nil)
 	started := make(chan struct{})
 	release := make(chan struct{})
 	done := make(chan struct{})
