@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke serve-smoke dist-smoke vet lint fmt fmt-check ci
+.PHONY: build test race bench-smoke serve-smoke dist-smoke vet ndavet contract-check lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -38,10 +38,22 @@ dist-smoke:
 vet:
 	$(GO) vet ./...
 
-## lint: vet plus the NDA gadget analyzer over every built-in program;
-## fails if any static verdict deviates from Table 2 or a workload grows a
-## chosen-code gadget
-lint: vet
+## ndavet: the determinism/layering analyzer over the repo's own source —
+## detlint, globlint, layerlint, locklint; fails on any finding without a
+## reasoned //ndavet:allow annotation
+ndavet:
+	$(GO) run ./cmd/ndavet
+
+## contract-check: fail if the layer-contract table in README.md drifts
+## from the one generated out of internal/analysis/layers.go
+contract-check:
+	sh scripts/layer_contract.sh
+
+## lint: vet, the NDA gadget analyzer over every built-in program (fails
+## if any static verdict deviates from Table 2 or a workload grows a
+## chosen-code gadget), ndavet over the repo's own source, and the
+## README layer-contract drift check
+lint: vet ndavet contract-check
 	$(GO) run ./cmd/ndalint -check
 
 ## fmt: rewrite sources with gofmt

@@ -69,8 +69,8 @@ func main() {
 		fails := gadget.Check(report)
 		if len(fails) > 0 {
 			fmt.Fprintf(os.Stderr, "\nndalint: %d unexpected findings:\n", len(fails))
-			for _, f := range fails {
-				fmt.Fprintln(os.Stderr, "  "+f)
+			for i := range fails {
+				fmt.Fprintln(os.Stderr, "  "+fails[i].String())
 			}
 			os.Exit(1)
 		}

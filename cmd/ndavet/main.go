@@ -1,0 +1,76 @@
+// Command ndavet runs the repo's source-level static analyzer: four
+// passes over the whole module proving the determinism and layering
+// invariants the golden sweep tests check at runtime.
+//
+//	ndavet               # run all passes; exit 1 on any unallowed finding
+//	ndavet -json         # full machine-readable report (allowed findings included)
+//	ndavet -pass detlint # run a subset of passes (comma-separated)
+//	ndavet -contract     # print the layer-contract markdown table (README sync)
+//	ndavet -C dir        # analyze the module containing dir (default ".")
+//
+// Passes: detlint (map-iteration order into ordering-sensitive sinks;
+// wall-clock and global-randomness reads), layerlint (the declared import
+// DAG), locklint (mutexes held across blocking calls in serve/dist/par),
+// globlint (mutable package-level state in deterministic packages).
+// Sanctioned exceptions carry //ndavet:allow <pass> <reason> annotations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"nda/internal/analysis"
+	"nda/internal/cliutil"
+)
+
+func main() {
+	var (
+		jsonOut  = flag.Bool("json", false, "emit the full report as JSON, allowed findings included")
+		passes   = flag.String("pass", "", "comma-separated subset of passes to run (default: all)")
+		contract = flag.Bool("contract", false, "print the layer-contract markdown table and exit")
+		dir      = flag.String("C", ".", "directory inside the module to analyze")
+	)
+	flag.Parse()
+
+	if *contract {
+		fmt.Print(analysis.ContractTable(analysis.DefaultContract))
+		return
+	}
+
+	cfg := analysis.Config{}
+	if *passes != "" {
+		for _, p := range strings.Split(*passes, ",") {
+			if p = strings.TrimSpace(p); p != "" {
+				cfg.Passes = append(cfg.Passes, p)
+			}
+		}
+	}
+
+	mod, err := analysis.Load(*dir)
+	checkErr(err)
+	report, err := analysis.RunAll(mod, cfg)
+	checkErr(err)
+
+	if *jsonOut {
+		out, err := report.JSON()
+		checkErr(err)
+		os.Stdout.Write(out)
+	} else {
+		fmt.Print(report.Text())
+	}
+
+	open := report.Open()
+	allowed := len(report.Findings) - len(open)
+	if len(open) > 0 {
+		fmt.Fprintf(os.Stderr, "ndavet: %d findings (%d allowed by annotation) over %d packages\n",
+			len(open), allowed, len(mod.Pkgs))
+		os.Exit(1)
+	}
+	if !*jsonOut {
+		fmt.Printf("ndavet: clean — %d packages, %d sanctioned exceptions\n", len(mod.Pkgs), allowed)
+	}
+}
+
+func checkErr(err error) { cliutil.Check("ndavet", err) }

@@ -1,0 +1,189 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+)
+
+// PassNames lists the four ndavet passes in census order.
+var PassNames = []string{"detlint", "globlint", "layerlint", "locklint"}
+
+// Config selects what a run checks.
+type Config struct {
+	// Contract is the layer contract to enforce; nil means DefaultContract.
+	Contract []Rule
+	// Passes restricts the run to a subset of PassNames; nil means all.
+	Passes []string
+}
+
+// RunAll executes the configured passes over a loaded module and returns
+// the combined report: every finding (allowed ones marked), sorted, with
+// the per-pass census. The error return is for configuration problems
+// (unknown pass, duplicate contract entries), not for findings.
+func RunAll(m *Module, cfg Config) (*Report, error) {
+	contract := cfg.Contract
+	if contract == nil {
+		contract = DefaultContract
+	}
+	idx, err := contractIndex(contract)
+	if err != nil {
+		return nil, err
+	}
+	all := map[string]bool{}
+	for _, n := range PassNames {
+		all[n] = true
+	}
+	selected := map[string]bool{}
+	if cfg.Passes == nil {
+		selected = all
+	} else {
+		for _, n := range cfg.Passes {
+			if !all[n] {
+				return nil, fmt.Errorf("unknown pass %q (have %s)", n, passList(all))
+			}
+			selected[n] = true
+		}
+	}
+
+	var findings []Finding
+	if selected["detlint"] {
+		findings = append(findings, runDetlint(m)...)
+	}
+	if selected["globlint"] {
+		findings = append(findings, runGloblint(m, idx)...)
+	}
+	if selected["layerlint"] {
+		findings = append(findings, runLayerlint(m, contract, idx)...)
+	}
+	if selected["locklint"] {
+		findings = append(findings, runLocklint(m, idx)...)
+	}
+
+	entries, malformed := collectAllows(m, all)
+	findings = append(findings, malformed...)
+	// Annotations for passes not selected this run are neither applied nor
+	// reported unused — a -pass subset must not invent complaints about
+	// the other passes' exceptions.
+	kept := entries[:0]
+	for _, e := range entries {
+		if selected[e.pass] {
+			kept = append(kept, e)
+		}
+	}
+	findings = applyAllows(findings, kept)
+	return NewReport("ndavet", findings), nil
+}
+
+// classOf returns the contract class for a package path, or "" when the
+// package is not in the contract (layerlint reports that separately).
+func classOf(idx map[string]*Rule, path string) Class {
+	if r := idx[path]; r != nil {
+		return r.Class
+	}
+	return ""
+}
+
+// --- shared AST/type helpers used by the passes ---
+
+func unparen(e ast.Expr) ast.Expr {
+	for {
+		p, ok := e.(*ast.ParenExpr)
+		if !ok {
+			return e
+		}
+		e = p.X
+	}
+}
+
+// calleeOf resolves a call's target object. For method calls recv is the
+// receiver expression; for package-qualified or local calls recv is nil.
+func calleeOf(info *types.Info, call *ast.CallExpr) (obj types.Object, recv ast.Expr) {
+	switch fn := unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn], nil
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fn]; ok {
+			return sel.Obj(), fn.X
+		}
+		return info.Uses[fn.Sel], nil
+	}
+	return nil, nil
+}
+
+// pkgPathOf returns the defining package path of obj, or "".
+func pkgPathOf(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// rootIdent walks to the base identifier of an lvalue-ish expression:
+// x, x.f, x[i], *x, (x), x.f[i].g all root at x. Selector chains whose
+// base is a package name root at the selected identifier instead
+// (pkg.Var roots at Var).
+func rootIdent(info *types.Info, e ast.Expr) *ast.Ident {
+	for {
+		switch v := e.(type) {
+		case *ast.Ident:
+			return v
+		case *ast.ParenExpr:
+			e = v.X
+		case *ast.StarExpr:
+			e = v.X
+		case *ast.IndexExpr:
+			e = v.X
+		case *ast.SliceExpr:
+			e = v.X
+		case *ast.SelectorExpr:
+			if id, ok := unparen(v.X).(*ast.Ident); ok {
+				if _, isPkg := info.Uses[id].(*types.PkgName); isPkg {
+					return v.Sel
+				}
+			}
+			e = v.X
+		default:
+			return nil
+		}
+	}
+}
+
+// isPackageLevelVar reports whether obj is a package-scope variable.
+func isPackageLevelVar(obj types.Object) bool {
+	v, ok := obj.(*types.Var)
+	if !ok || v.Pkg() == nil {
+		return false
+	}
+	return v.Parent() == v.Pkg().Scope()
+}
+
+// eachFuncBody invokes fn once per function or method body and once per
+// function literal in the package, so analyses that must not leak across
+// function boundaries get exactly one call per body.
+func eachFuncBody(p *Pkg, fn func(name string, body *ast.BlockStmt)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch d := n.(type) {
+			case *ast.FuncDecl:
+				if d.Body != nil {
+					fn(d.Name.Name, d.Body)
+				}
+			case *ast.FuncLit:
+				fn("func literal", d.Body)
+			}
+			return true
+		})
+	}
+}
+
+// walkSkipFuncLit walks the statements under n in source order, not
+// descending into nested function literals (each gets its own analysis).
+func walkSkipFuncLit(n ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(n, func(c ast.Node) bool {
+		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			return false
+		}
+		return visit(c)
+	})
+}

@@ -1,0 +1,212 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// detlint is the determinism pass. It enforces, module-wide, the property
+// the golden sweep tests check end-to-end: identical inputs produce
+// identical bytes. Two families of findings:
+//
+//  1. Wall-clock reads (time.Now, time.Since) and draws from math/rand's
+//     process-global source (rand.Intn, rand.Int63n, ... — anything but
+//     the explicit-source constructors rand.New/rand.NewSource). Both
+//     make output depend on when or where the process runs. Legitimate
+//     uses — retry jitter in the dispatch layer, uptime metrics, CLI
+//     progress stamps — carry //ndavet:allow detlint annotations.
+//
+//  2. Map iteration whose per-element results reach an ordering-sensitive
+//     sink: a direct print/write/encode inside the loop, a string
+//     concatenation, or an append whose slice is never sorted afterwards
+//     in the same function. Go randomizes map iteration order per run, so
+//     any of these leaks scheduling into the output bytes.
+func runDetlint(m *Module) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		out = append(out, detClockAndRand(m, p)...)
+		eachFuncBody(p, func(name string, body *ast.BlockStmt) {
+			out = append(out, detMapOrder(m, p, body)...)
+		})
+	}
+	return out
+}
+
+// detClockAndRand flags wall-clock reads and global-source randomness in
+// every file of the package, including package-level initializers.
+func detClockAndRand(m *Module, p *Pkg) []Finding {
+	var out []Finding
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj, _ := calleeOf(p.Info, call)
+			switch pkgPathOf(obj) {
+			case "time":
+				if name := obj.Name(); name == "Now" || name == "Since" {
+					out = append(out, m.finding("detlint", call,
+						"time."+name+" reads the wall clock; deterministic outputs must not depend on it"))
+				}
+			case "math/rand", "math/rand/v2":
+				if _, isFunc := obj.(*types.Func); !isFunc {
+					return true
+				}
+				if sig, ok := obj.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // methods on an explicit *rand.Rand are seeded and fine
+				}
+				if name := obj.Name(); name != "New" && name != "NewSource" {
+					out = append(out, m.finding("detlint", call,
+						"math/rand."+obj.Name()+" draws from the process-global source; use rand.New(rand.NewSource(seed)) for replayable randomness"))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// orderedPrintFns are the fmt functions that serialize their arguments to
+// an ordered destination.
+var orderedPrintFns = map[string]bool{
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Print": true, "Printf": true, "Println": true,
+}
+
+// orderedWriteMethods are methods that emit bytes in call order, whatever
+// the receiver (io.Writer, strings.Builder, hash.Hash, *json.Encoder...).
+var orderedWriteMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+// detMapOrder analyzes one function body: every range over a map-typed
+// expression is checked for ordering-sensitive sinks in its body, and for
+// appends whose target is never sorted later in the same function.
+func detMapOrder(m *Module, p *Pkg, body *ast.BlockStmt) []Finding {
+	var out []Finding
+	walkSkipFuncLit(body, func(n ast.Node) bool {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := p.Info.TypeOf(rng.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		mapStr := types.ExprString(rng.X)
+		// One record per distinct append target, first site wins. A slice,
+		// not a map: ndavet's own output must not depend on map order.
+		type appendRec struct {
+			target string
+			site   ast.Node
+		}
+		var appends []appendRec
+		noteAppend := func(target string, site ast.Node) {
+			for _, a := range appends {
+				if a.target == target {
+					return
+				}
+			}
+			appends = append(appends, appendRec{target, site})
+		}
+		walkSkipFuncLit(rng.Body, func(c ast.Node) bool {
+			switch s := c.(type) {
+			case *ast.AssignStmt:
+				if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
+					if lt := p.Info.TypeOf(s.Lhs[0]); lt != nil {
+						if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
+							out = append(out, m.finding("detlint", s,
+								"string built up across iteration of map "+mapStr+"; iteration order is random — collect and sort instead"))
+						}
+					}
+				}
+				for i, rhs := range s.Rhs {
+					call, ok := unparen(rhs).(*ast.CallExpr)
+					if !ok || !isBuiltinAppend(p.Info, call) || i >= len(s.Lhs) {
+						continue
+					}
+					noteAppend(types.ExprString(s.Lhs[i]), call)
+				}
+			case *ast.CallExpr:
+				obj, _ := calleeOf(p.Info, s)
+				if obj == nil {
+					return true
+				}
+				if pkgPathOf(obj) == "fmt" && orderedPrintFns[obj.Name()] {
+					out = append(out, m.finding("detlint", s,
+						"fmt."+obj.Name()+" inside iteration of map "+mapStr+"; iteration order is random — sort the keys first"))
+					return true
+				}
+				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && orderedWriteMethods[obj.Name()] {
+					out = append(out, m.finding("detlint", s,
+						obj.Name()+" inside iteration of map "+mapStr+"; iteration order is random — sort the keys first"))
+				}
+			}
+			return true
+		})
+		for _, a := range appends {
+			if !sortedAfter(p.Info, body, a.site, a.target) {
+				out = append(out, m.finding("detlint", a.site,
+					"values from iteration of map "+mapStr+" are appended to "+a.target+
+						", which is never sorted in this function; the slice order is random"))
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// isBuiltinAppend reports whether call is the append builtin.
+func isBuiltinAppend(info *types.Info, call *ast.CallExpr) bool {
+	id, ok := unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether, somewhere after the append site, the
+// enclosing function calls a sort/slices function with the collected
+// target among its arguments. The sort may sit inside the loop body (the
+// per-iteration collect-then-sort idiom) or after it.
+func sortedAfter(info *types.Info, body *ast.BlockStmt, site ast.Node, target string) bool {
+	found := false
+	walkSkipFuncLit(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < site.End() {
+			return true
+		}
+		obj, _ := calleeOf(info, call)
+		if obj == nil {
+			return true
+		}
+		switch pkgPathOf(obj) {
+		case "sort", "slices":
+		default:
+			// A helper like sortGadgets(gs) counts too: any callee whose
+			// name says it sorts, applied to the collected slice.
+			if !strings.Contains(strings.ToLower(obj.Name()), "sort") {
+				return true
+			}
+		}
+		for _, arg := range call.Args {
+			if strings.Contains(types.ExprString(arg), target) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,102 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+)
+
+// globlint flags mutable package-level state in deterministic (and
+// concurrency) packages. A package-level var is mutable state when any
+// code in the module writes to it after initialization — assigns to it,
+// assigns through an index/field/deref rooted at it, increments it — or
+// takes its address (which makes writes untrackable). Read-only lookup
+// tables, sentinel errors, and other write-never vars pass: the sin is
+// the mutation, not the declaration.
+func runGloblint(m *Module, idx map[string]*Rule) []Finding {
+	// First sweep the whole module for writes and address-takes, so a
+	// service package mutating a core package's exported var still counts
+	// against the core package's contract.
+	writes := map[types.Object]token.Pos{}
+	addrs := map[types.Object]token.Pos{}
+	note := func(dst map[types.Object]token.Pos, info *types.Info, e ast.Expr) {
+		id := rootIdent(info, e)
+		if id == nil {
+			return
+		}
+		obj := info.Uses[id]
+		if obj == nil {
+			obj = info.Defs[id]
+		}
+		if !isPackageLevelVar(obj) {
+			return
+		}
+		if _, seen := dst[obj]; !seen {
+			dst[obj] = e.Pos()
+		}
+	}
+	for _, p := range m.Pkgs {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.AssignStmt:
+					for _, lhs := range s.Lhs {
+						note(writes, p.Info, lhs)
+					}
+				case *ast.IncDecStmt:
+					note(writes, p.Info, s.X)
+				case *ast.UnaryExpr:
+					if s.Op == token.AND {
+						note(addrs, p.Info, s.X)
+					}
+				}
+				return true
+			})
+		}
+	}
+
+	var out []Finding
+	for _, p := range m.Pkgs {
+		switch classOf(idx, p.Path) {
+		case Deterministic, Concurrency:
+		default:
+			continue
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				gd, ok := decl.(*ast.GenDecl)
+				if !ok || gd.Tok != token.VAR {
+					continue
+				}
+				for _, spec := range gd.Specs {
+					vs, ok := spec.(*ast.ValueSpec)
+					if !ok {
+						continue
+					}
+					for _, name := range vs.Names {
+						if name.Name == "_" {
+							continue
+						}
+						obj := p.Info.Defs[name]
+						if obj == nil || !isPackageLevelVar(obj) {
+							continue
+						}
+						if pos, ok := writes[obj]; ok {
+							file, line, _ := m.Rel(pos)
+							out = append(out, m.finding("globlint", name,
+								"package-level var "+name.Name+" is mutated (e.g. at "+file+":"+strconv.Itoa(line)+
+									"); deterministic packages must not carry mutable state"))
+						} else if pos, ok := addrs[obj]; ok {
+							file, line, _ := m.Rel(pos)
+							out = append(out, m.finding("globlint", name,
+								"package-level var "+name.Name+" has its address taken (at "+file+":"+strconv.Itoa(line)+
+									"), so it may be mutated; deterministic packages must not carry mutable state"))
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}

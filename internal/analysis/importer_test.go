@@ -1,0 +1,94 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestLoadDependencyOrder proves the source importer typechecks the
+// fixture module bottom-up: the leaf before the middle, the middle before
+// the root, with cross-package types resolved for real.
+func TestLoadDependencyOrder(t *testing.T) {
+	m, err := Load("testdata/module_ok")
+	if err != nil {
+		t.Fatalf("load: %v", err)
+	}
+	if m.Path != "fixtureok" {
+		t.Fatalf("module path = %q, want fixtureok", m.Path)
+	}
+	pos := map[string]int{}
+	for i, p := range m.Pkgs {
+		pos[p.Path] = i
+		if p.Types == nil || p.Info == nil {
+			t.Errorf("%s: not typechecked", p.Path)
+		}
+	}
+	for _, dep := range [][2]string{
+		{"fixtureok/c", "fixtureok/b"},
+		{"fixtureok/b", "fixtureok/a"},
+		{"fixtureok/c", "fixtureok/a"},
+	} {
+		ic, okc := pos[dep[0]]
+		ia, oka := pos[dep[1]]
+		if !okc || !oka {
+			t.Fatalf("missing packages in %v (have %v)", dep, pos)
+		}
+		if ic >= ia {
+			t.Errorf("%s typechecked at %d, after its importer %s at %d", dep[0], ic, dep[1], ia)
+		}
+	}
+
+	// Cross-package resolution: a.V = b.Sum(c.Mk()) must land as an int.
+	a := m.ByPath["fixtureok/a"]
+	v := a.Types.Scope().Lookup("V")
+	if v == nil {
+		t.Fatal("fixtureok/a has no V")
+	}
+	if got := v.Type().String(); got != "int" {
+		t.Errorf("a.V type = %s, want int (cross-package inference failed)", got)
+	}
+	if got := a.Internal; len(got) != 2 || got[0] != "fixtureok/b" || got[1] != "fixtureok/c" {
+		t.Errorf("a.Internal = %v, want [fixtureok/b fixtureok/c]", got)
+	}
+}
+
+// TestLoadTypeError proves a deliberate type error fails the load with a
+// diagnostic naming the package and position.
+func TestLoadTypeError(t *testing.T) {
+	_, err := Load("testdata/module_typeerr")
+	if err == nil {
+		t.Fatal("type error not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "fixturebad/p") {
+		t.Errorf("error does not name the package: %v", err)
+	}
+	if !strings.Contains(msg, "p.go") {
+		t.Errorf("error does not carry a file position: %v", err)
+	}
+}
+
+// TestLoadImportCycle proves a module-internal import cycle fails the
+// load naming the cycle members.
+func TestLoadImportCycle(t *testing.T) {
+	_, err := Load("testdata/module_cycle")
+	if err == nil {
+		t.Fatal("import cycle not detected")
+	}
+	msg := err.Error()
+	if !strings.Contains(msg, "import cycle") ||
+		!strings.Contains(msg, "fixturecycle/a") || !strings.Contains(msg, "fixturecycle/b") {
+		t.Errorf("cycle diagnostic incomplete: %v", err)
+	}
+}
+
+// TestLoadFindsModuleFromSubdir proves go.mod discovery walks upward.
+func TestLoadFindsModuleFromSubdir(t *testing.T) {
+	m, err := Load("testdata/module_ok/b")
+	if err != nil {
+		t.Fatalf("load from subdir: %v", err)
+	}
+	if m.Path != "fixtureok" || len(m.Pkgs) != 3 {
+		t.Errorf("subdir load saw path=%q pkgs=%d, want fixtureok/3", m.Path, len(m.Pkgs))
+	}
+}

@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strconv"
+	"strings"
+)
+
+// layerlint enforces the import DAG declared in layers.go as a contract:
+// every module package must be listed, may only import the module-internal
+// packages its rule allows, and — for the restricted classes — must stay
+// off the forbidden stdlib surface (a deterministic core package importing
+// net/http is an architecture bug whatever the code does with it). The
+// declared contract itself is checked for cycles, and entries naming
+// packages that no longer exist are reported so the table tracks reality.
+func runLayerlint(m *Module, contract []Rule, idx map[string]*Rule) []Finding {
+	var out []Finding
+
+	if cyc := contractCycle(contract); cyc != "" {
+		out = append(out, Finding{
+			File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+			Message: "layer contract declares an import cycle: " + cyc,
+		})
+	}
+	for i := range contract {
+		r := &contract[i]
+		if m.ByPath[r.Path] == nil {
+			out = append(out, Finding{
+				File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+				Message: "layer contract lists " + r.Path + " but the module has no such package",
+			})
+		}
+		for _, dep := range r.Allow {
+			if idx[dep] == nil {
+				out = append(out, Finding{
+					File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+					Message: "layer contract for " + r.Path + " allows " + dep + ", which the contract does not declare",
+				})
+			}
+		}
+	}
+
+	for _, p := range m.Pkgs {
+		rule := idx[p.Path]
+		if rule == nil {
+			if len(p.Files) > 0 {
+				out = append(out, m.finding("layerlint", p.Files[0].Name,
+					"package "+p.Path+" is not declared in the layer contract (internal/analysis/layers.go)"))
+			}
+			continue
+		}
+		allowed := map[string]bool{}
+		for _, dep := range rule.Allow {
+			allowed[dep] = true
+		}
+		denied := deniedStd[rule.Class]
+		for _, f := range p.Files {
+			for _, imp := range f.Imports {
+				ip, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ip == m.Path || strings.HasPrefix(ip, m.Path+"/") {
+					if !allowed[ip] {
+						out = append(out, m.finding("layerlint", imp,
+							p.Path+" must not import "+ip+" (not in its layer contract; class "+string(rule.Class)+")"))
+					}
+					continue
+				}
+				for _, prefix := range denied {
+					if ip == prefix || strings.HasPrefix(ip, prefix+"/") {
+						out = append(out, m.finding("layerlint", imp,
+							p.Path+" ("+string(rule.Class)+" class) must not import "+ip))
+						break
+					}
+				}
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,205 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strconv"
+	"strings"
+)
+
+// locklint flags sync.Mutex/RWMutex critical sections that span blocking
+// operations in the service and concurrency layers (serve, dist, par). A
+// lock held across a channel operation, a select without a default, a
+// WaitGroup/Cond Wait, a semaphore Acquire, an HTTP round-trip, or a
+// time.Sleep turns every other goroutine contending for that lock into a
+// hostage of the slow path — the classic way a "bounded" service seizes
+// up under load.
+//
+// The analysis is lexical and intra-procedural: a critical section runs
+// from X.Lock() to the next X.Unlock() on the same receiver expression in
+// source order, or to the end of the function when the unlock is
+// deferred (or absent). Channel operations guarded by a select that has a
+// default case are non-blocking and not flagged.
+func runLocklint(m *Module, idx map[string]*Rule) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		switch classOf(idx, p.Path) {
+		case Service, Concurrency:
+		default:
+			continue
+		}
+		eachFuncBody(p, func(name string, body *ast.BlockStmt) {
+			out = append(out, lockSections(m, p, name, body)...)
+		})
+	}
+	return out
+}
+
+type lockEvent struct {
+	pos      token.Pos
+	recv     string // receiver expression, e.g. "c.mu"
+	unlock   bool
+	read     bool // RLock/RUnlock
+	deferred bool
+}
+
+type blockEvent struct {
+	node ast.Node
+	desc string
+}
+
+// lockSections scans one function body and reports blocking operations
+// positioned inside a lexical critical section.
+func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Finding {
+	var locks []lockEvent
+	var blocks []blockEvent
+
+	noteLock := func(call *ast.CallExpr, deferred bool) bool {
+		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		selection, ok := p.Info.Selections[sel]
+		if !ok || pkgPathOf(selection.Obj()) != "sync" {
+			return false
+		}
+		name := selection.Obj().Name()
+		if name != "Lock" && name != "Unlock" && name != "RLock" && name != "RUnlock" {
+			return false
+		}
+		locks = append(locks, lockEvent{
+			pos:      call.Pos(),
+			recv:     types.ExprString(sel.X),
+			unlock:   strings.HasSuffix(name, "nlock"),
+			read:     strings.HasPrefix(name, "R"),
+			deferred: deferred,
+		})
+		return true
+	}
+
+	// selects tracks the spans of select statements that have a default
+	// case; channel operations inside their comm guards are non-blocking.
+	type span struct{ lo, hi token.Pos }
+	var nonBlockingComms []span
+
+	walkSkipFuncLit(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.DeferStmt:
+			noteLock(s.Call, true)
+			return true
+		case *ast.CallExpr:
+			if noteLock(s, false) {
+				return true
+			}
+			if desc := blockingCall(p.Info, s); desc != "" {
+				blocks = append(blocks, blockEvent{s, desc})
+			}
+		case *ast.SelectStmt:
+			hasDefault := false
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
+					hasDefault = true
+				}
+			}
+			if !hasDefault {
+				blocks = append(blocks, blockEvent{s, "select with no default case"})
+			}
+			// Comm guards are never flagged on their own: with a default
+			// they are non-blocking, without one the select event above
+			// already reports the wait. Clause bodies run after the select
+			// fires and block like any other code.
+			for _, clause := range s.Body.List {
+				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
+					nonBlockingComms = append(nonBlockingComms, span{cc.Comm.Pos(), cc.Comm.End()})
+				}
+			}
+		case *ast.SendStmt:
+			blocks = append(blocks, blockEvent{s, "channel send"})
+		case *ast.UnaryExpr:
+			if s.Op == token.ARROW {
+				blocks = append(blocks, blockEvent{s, "channel receive"})
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(s.X); t != nil {
+				if _, isChan := t.Underlying().(*types.Chan); isChan {
+					blocks = append(blocks, blockEvent{s, "range over channel"})
+				}
+			}
+		}
+		return true
+	})
+
+	var out []Finding
+	for i, lk := range locks {
+		if lk.unlock {
+			continue
+		}
+		// Find the matching unlock: nearest later Unlock/RUnlock on the
+		// same receiver. Deferred unlocks hold until the function returns.
+		end := body.End()
+		for j := i + 1; j < len(locks); j++ {
+			u := locks[j]
+			if u.unlock && u.recv == lk.recv && u.read == lk.read {
+				if !u.deferred {
+					end = u.pos
+				}
+				break
+			}
+		}
+		_, lockLine, _ := m.Rel(lk.pos)
+		for _, b := range blocks {
+			if b.node.Pos() <= lk.pos || b.node.Pos() >= end {
+				continue
+			}
+			guarded := false
+			for _, sp := range nonBlockingComms {
+				if b.node.Pos() >= sp.lo && b.node.End() <= sp.hi {
+					guarded = true
+					break
+				}
+			}
+			if guarded {
+				continue
+			}
+			out = append(out, m.finding("locklint", b.node,
+				lk.recv+" (locked at line "+strconv.Itoa(lockLine)+" in "+fname+") is held across "+b.desc+
+					"; blocking under a mutex stalls every contender"))
+		}
+	}
+	return out
+}
+
+// blockingCall classifies calls that can block indefinitely: Wait and
+// Acquire methods (sync.WaitGroup, sync.Cond, par.Sem, semaphores in
+// general), HTTP round-trips, and time.Sleep.
+func blockingCall(info *types.Info, call *ast.CallExpr) string {
+	obj, _ := calleeOf(info, call)
+	if obj == nil {
+		return ""
+	}
+	name := obj.Name()
+	if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch name {
+		case "Wait", "Acquire", "RoundTrip":
+			return name + " call"
+		case "Do":
+			if recvT := sig.Recv().Type(); strings.Contains(recvT.String(), "net/http.Client") {
+				return "HTTP round-trip (http.Client.Do)"
+			}
+		}
+		return ""
+	}
+	switch pkgPathOf(obj) {
+	case "net/http":
+		switch name {
+		case "Get", "Post", "PostForm", "Head":
+			return "HTTP round-trip (http." + name + ")"
+		}
+	case "time":
+		if name == "Sleep" {
+			return "time.Sleep"
+		}
+	}
+	return ""
+}

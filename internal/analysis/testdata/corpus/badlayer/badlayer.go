@@ -1,0 +1,18 @@
+// Package badlayer is contract-declared deterministic but reaches for the
+// service layer and the network — the layerlint positives.
+package badlayer
+
+import (
+	"net/http" // want "must not import net/http"
+
+	//ndavet:allow layerlint corpus example of a sanctioned layering exception
+	"os"
+
+	"corpus/svc" // want "must not import corpus/svc"
+)
+
+// Probe uses every import so the file typechecks.
+func Probe() int {
+	_ = new(svc.S)
+	return http.StatusOK + os.Getpid()
+}

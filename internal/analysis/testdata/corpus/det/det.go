@@ -1,0 +1,99 @@
+// Package det is the corpus stand-in for a deterministic simulator
+// package: detlint and globlint findings here are true positives, and the
+// sorted/seeded/annotated variants must stay clean.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time" // want "must not import time"
+
+	"corpus/detdep"
+)
+
+// Stamp reads the wall clock: the canonical detlint positive.
+func Stamp() int64 {
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
+// Elapsed reads the wall clock through time.Since.
+func Elapsed(t0 time.Time) float64 {
+	return time.Since(t0).Seconds() // want "time.Since reads the wall clock"
+}
+
+// AllowedStamp is the sanctioned exception: same call, annotated.
+func AllowedStamp() int64 {
+	//ndavet:allow detlint corpus example of a documented wall-clock exception
+	return time.Now().Unix()
+}
+
+// GlobalRand draws from the process-global source.
+func GlobalRand() int {
+	return rand.Intn(10) // want "draws from the process-global source"
+}
+
+// SeededRand draws from an explicit seeded source: deterministic, clean.
+func SeededRand(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10) + detdep.Value()
+}
+
+// PrintAll prints during map iteration: order leaks straight to stdout.
+func PrintAll(m map[string]int) {
+	for k, v := range m {
+		fmt.Println(k, v) // want "iteration order is random"
+	}
+}
+
+// Keys collects map keys and returns them unsorted.
+func Keys(m map[string]int) []string {
+	keys := []string{}
+	for k := range m {
+		keys = append(keys, k) // want "never sorted in this function"
+	}
+	return keys
+}
+
+// SortedKeys is the idiomatic fix: collect, then sort. Clean.
+func SortedKeys(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// Join concatenates a string across map iteration.
+func Join(m map[string]int) string {
+	s := ""
+	for k := range m {
+		s += k // want "string built up across iteration"
+	}
+	return s
+}
+
+// Sum accumulates an int across map iteration: commutative, clean.
+func Sum(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// Render writes during map iteration through an ordered sink method.
+func Render(m map[string]int, b *strings.Builder) {
+	for k := range m {
+		b.WriteString(k) // want "iteration order is random"
+	}
+}
+
+// Stale annotation: grants nothing, so it is itself a finding.
+/*ndavet:allow detlint the call this excused was fixed long ago*/ // want "unused"
+
+// Malformed annotations: missing reason, unknown pass.
+/*ndavet:allow detlint*/ // want "needs a reason"
+/*ndavet:allow nosuchpass because reasons*/ // want "malformed annotation"

@@ -1,0 +1,40 @@
+package det
+
+import "errors"
+
+// hits is written by Bump: mutable package state, the globlint positive.
+var hits int // want "is mutated"
+
+// Bump is the write that convicts hits.
+func Bump() { hits++ }
+
+// seen is mutated through an index write.
+var seen = map[string]bool{} // want "is mutated"
+
+// Mark writes through seen's index.
+func Mark(k string) { seen[k] = true }
+
+// buf escapes by address, so writes to it cannot be tracked.
+var buf []byte // want "has its address taken"
+
+// Fill hands buf's address to grow.
+func Fill() { grow(&buf) }
+
+func grow(b *[]byte) { *b = append(*b, 0) }
+
+// Tally is mutable state the corpus sanctions via annotation.
+//
+//ndavet:allow globlint corpus example of a documented mutable global
+var Tally int
+
+// AddTally writes the sanctioned global.
+func AddTally() { Tally++ }
+
+// ErrCorpus is a write-never sentinel: clean.
+var ErrCorpus = errors.New("corpus")
+
+// table is a read-only lookup table: clean.
+var table = []int{1, 2, 3}
+
+// Lookup only reads table.
+func Lookup(i int) int { return table[i%len(table)] }

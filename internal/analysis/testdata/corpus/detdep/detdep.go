@@ -1,0 +1,6 @@
+// Package detdep is the leaf the det package is contractually allowed to
+// import — the negative case for layerlint.
+package detdep
+
+// Value is referenced from corpus/det.
+func Value() int { return 42 }

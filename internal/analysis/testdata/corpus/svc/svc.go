@@ -1,0 +1,89 @@
+// Package svc is the corpus stand-in for a service-class package: the
+// locklint cases live here.
+package svc
+
+import (
+	"net/http"
+	"sync"
+)
+
+// S carries the lock and the blocking machinery the cases exercise.
+type S struct {
+	mu  sync.Mutex
+	ch  chan int
+	wg  sync.WaitGroup
+	cli *http.Client
+}
+
+// RecvUnderLock blocks on a channel receive inside the critical section.
+func (s *S) RecvUnderLock() int {
+	s.mu.Lock()
+	v := <-s.ch // want "held across channel receive"
+	s.mu.Unlock()
+	return v
+}
+
+// SendUnderLock blocks on a channel send inside the critical section.
+func (s *S) SendUnderLock(v int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.ch <- v // want "held across channel send"
+}
+
+// WaitUnderDeferredLock holds the lock to function end via defer, so the
+// Wait sits inside the critical section.
+func (s *S) WaitUnderDeferredLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.wg.Wait() // want "held across Wait call"
+}
+
+// SelectUnderLock parks on a select with no default while locked.
+func (s *S) SelectUnderLock() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select { // want "select with no default"
+	case v := <-s.ch:
+		return v
+	}
+}
+
+// HTTPUnderLock holds the lock across a network round-trip.
+func (s *S) HTTPUnderLock(req *http.Request) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	resp, err := s.cli.Do(req) // want "HTTP round-trip"
+	if err != nil {
+		return err
+	}
+	return resp.Body.Close()
+}
+
+// TrySendUnderLock is the non-blocking idiom: a select with a default is
+// clean even inside the critical section.
+func (s *S) TrySendUnderLock(v int) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	select {
+	case s.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// RecvAfterUnlock releases the lock before blocking: clean.
+func (s *S) RecvAfterUnlock() int {
+	s.mu.Lock()
+	n := cap(s.ch)
+	s.mu.Unlock()
+	return n + <-s.ch
+}
+
+// AllowedWaitUnderLock is the sanctioned exception, annotated in-source.
+func (s *S) AllowedWaitUnderLock() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	//ndavet:allow locklint corpus example of a startup-only barrier with no contention
+	s.wg.Wait()
+}

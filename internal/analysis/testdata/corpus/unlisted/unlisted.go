@@ -1,0 +1,6 @@
+// Package unlisted is deliberately missing from the corpus layer
+// contract.
+package unlisted // want "not declared in the layer contract"
+
+// N exists so the package is non-empty.
+const N = 1

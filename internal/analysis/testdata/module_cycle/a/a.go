@@ -1,0 +1,7 @@
+// Package a half of the deliberate import cycle.
+package a
+
+import "fixturecycle/b"
+
+// A references b so the import is used.
+const A = b.B + 1

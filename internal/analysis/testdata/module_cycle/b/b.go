@@ -1,0 +1,7 @@
+// Package b half of the deliberate import cycle.
+package b
+
+import "fixturecycle/a"
+
+// B references a so the import is used.
+const B = a.A + 1

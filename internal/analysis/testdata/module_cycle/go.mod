@@ -1,0 +1,3 @@
+module fixturecycle
+
+go 1.22

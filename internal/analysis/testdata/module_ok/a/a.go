@@ -1,0 +1,10 @@
+// Package a is the root of the fixture chain: it must typecheck last.
+package a
+
+import (
+	"fixtureok/b"
+	"fixtureok/c"
+)
+
+// V exercises cross-package resolution through both b and c.
+var V = b.Sum(c.Mk())

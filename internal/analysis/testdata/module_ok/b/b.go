@@ -1,0 +1,7 @@
+// Package b sits between a and c: it must typecheck after c.
+package b
+
+import "fixtureok/c"
+
+// Sum reads through the c.T type imported from the leaf.
+func Sum(t c.T) int { return t.N }

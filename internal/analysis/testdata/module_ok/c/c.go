@@ -1,0 +1,8 @@
+// Package c is the leaf of the fixture module's dependency chain.
+package c
+
+// T is a type the downstream packages must resolve through the importer.
+type T struct{ N int }
+
+// Mk returns a fresh T.
+func Mk() T { return T{N: 1} }

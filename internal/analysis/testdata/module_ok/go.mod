@@ -1,0 +1,3 @@
+module fixtureok
+
+go 1.22

@@ -1,0 +1,3 @@
+module fixturebad
+
+go 1.22

@@ -1,0 +1,5 @@
+// Package p carries a deliberate type error for the importer test.
+package p
+
+// X parses fine but cannot typecheck.
+var X int = "not an int"

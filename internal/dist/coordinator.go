@@ -104,6 +104,7 @@ func (c *Coordinator) Do(ctx context.Context, path string, body []byte) ([]byte,
 		if attempt > 0 {
 			// Full jitter: sleep a uniform fraction of the backoff so
 			// retries from many cells don't re-converge on one worker.
+			//ndavet:allow detlint retry backoff jitter; affects scheduling only, merges stay byte-identical
 			d := time.Duration(rand.Int63n(int64(backoff)) + 1)
 			select {
 			case <-time.After(d):

@@ -5,6 +5,7 @@ import (
 	"sort"
 	"strings"
 
+	"nda/internal/analysis"
 	"nda/internal/attack"
 	"nda/internal/isa"
 	"nda/internal/par"
@@ -71,9 +72,18 @@ func BuildReport(ins []Input, workers int) (*Report, error) {
 // Check validates the census against the repo's ground truth: every attack
 // snippet's static per-policy verdict must match attack.Expected (Table 2),
 // and no workload kernel may contain a chosen-code gadget (workloads never
-// touch kernel memory or privileged MSRs). Returns the list of failures.
-func Check(r *Report) []string {
-	var fails []string
+// touch kernel memory or privileged MSRs). Failures come back as findings
+// in the shared analysis format, so ndalint and ndavet report identically.
+func Check(r *Report) []analysis.Finding {
+	var fails []analysis.Finding
+	fail := func(pass, program, msg string) {
+		fails = append(fails, analysis.Finding{
+			File:    program,
+			Tool:    "ndalint",
+			Pass:    pass,
+			Message: msg,
+		})
+	}
 	for i := range r.Programs {
 		pr := &r.Programs[i]
 		switch pr.Group {
@@ -87,9 +97,9 @@ func Check(r *Report) []string {
 			leaks := pr.ChannelLeaks[kind.Channel()]
 			for _, pol := range policyOrder() {
 				if leaks[pol] != exp[pol] {
-					fails = append(fails, fmt.Sprintf(
-						"%s under %s (%s channel): static analysis says leaks=%v, Table 2 says %v",
-						pr.Name, pol, kind.Channel(), leaks[pol], exp[pol]))
+					fail("table2", pr.Name, fmt.Sprintf(
+						"under %s (%s channel): static analysis says leaks=%v, Table 2 says %v",
+						pol, kind.Channel(), leaks[pol], exp[pol]))
 				}
 			}
 		case "workload":
@@ -100,8 +110,8 @@ func Check(r *Report) []string {
 			sort.Strings(keys)
 			for _, key := range keys {
 				if pr.Counts[key] > 0 && strings.HasPrefix(key, "chosen-code/") {
-					fails = append(fails, fmt.Sprintf(
-						"%s: %d chosen-code gadgets in a workload that never touches privileged state", pr.Name, pr.Counts[key]))
+					fail("workload", pr.Name, fmt.Sprintf(
+						"%d chosen-code gadgets in a workload that never touches privileged state", pr.Counts[key]))
 				}
 			}
 		}

@@ -137,6 +137,6 @@ func TestBuiltinCheckPasses(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, f := range gadget.Check(r) {
-		t.Error(f)
+		t.Error(f.String())
 	}
 }

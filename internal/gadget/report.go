@@ -1,11 +1,11 @@
 package gadget
 
 import (
-	"encoding/json"
 	"fmt"
 	"sort"
 	"strings"
 
+	"nda/internal/analysis"
 	"nda/internal/core"
 )
 
@@ -60,13 +60,10 @@ func NewProgramReport(name, group string, an *Analysis, keepGadgets bool) Progra
 	return pr
 }
 
-// JSON renders the report deterministically (Go's encoder sorts map keys).
+// JSON renders the report deterministically (Go's encoder sorts map keys),
+// through the same renderer ndavet uses so both tools emit one format.
 func (r *Report) JSON() ([]byte, error) {
-	out, err := json.MarshalIndent(r, "", "  ")
-	if err != nil {
-		return nil, err
-	}
-	return append(out, '\n'), nil
+	return analysis.MarshalReport(r)
 }
 
 // policyOrder is the column order of the text census: core.All order.

@@ -33,11 +33,13 @@ type Metrics struct {
 // NewMetrics returns a counter block anchored at the current time (the
 // cycles-per-second rate and uptime are measured from here).
 func NewMetrics() *Metrics {
+	//ndavet:allow detlint uptime anchor for /metrics; never reaches simulation results
 	return &Metrics{start: time.Now()}
 }
 
 // CyclesPerSecond is the lifetime average simulation throughput.
 func (m *Metrics) CyclesPerSecond() float64 {
+	//ndavet:allow detlint throughput gauge on /metrics; observability only, not in any result
 	secs := time.Since(m.start).Seconds()
 	if secs <= 0 {
 		return 0
@@ -64,6 +66,7 @@ func (m *Metrics) Render() string {
 	counter("nda_cycles_simulated_total", "measured cycles across all simulations", m.CyclesSimulated.Load())
 	fmt.Fprintf(&b, "# HELP nda_jobs_running jobs currently executing\n# TYPE nda_jobs_running gauge\nnda_jobs_running %d\n", m.JobsRunning.Load())
 	fmt.Fprintf(&b, "# HELP nda_cycles_per_second lifetime average simulated cycles per second\n# TYPE nda_cycles_per_second gauge\nnda_cycles_per_second %.1f\n", m.CyclesPerSecond())
+	//ndavet:allow detlint uptime gauge on /metrics; observability only, not in any result
 	fmt.Fprintf(&b, "# HELP nda_uptime_seconds seconds since the service started\n# TYPE nda_uptime_seconds gauge\nnda_uptime_seconds %.1f\n", time.Since(m.start).Seconds())
 	return b.String()
 }
