@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke serve-smoke dist-smoke vet ndavet contract-check lint fmt fmt-check ci
+.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke vet ndavet contract-check lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -18,10 +18,35 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench-smoke: run every Fig/Table benchmark exactly once, no timing
-## gate — exercises each experiment driver without letting noise block CI
+## bench-smoke: run every benchmark exactly once under a coarse wall-clock
+## budget — exercises each experiment driver per PR. All benchmarks live in
+## the root package; scoping the run there skips compiling bench binaries
+## for the other ~30 packages. The budget only guards against a hang or a
+## catastrophic slowdown; fine-grained regressions are bench-trajectory's job.
+BENCH_SMOKE_BUDGET ?= 600
 bench-smoke:
-	$(GO) test -bench=. -benchtime=1x -run='^$$' ./...
+	@start=$$(date +%s); \
+	$(GO) test -run='^$$' -bench=. -benchtime=1x . || exit 1; \
+	elapsed=$$(( $$(date +%s) - start )); \
+	echo "bench-smoke: $${elapsed}s (budget $(BENCH_SMOKE_BUDGET)s)"; \
+	[ "$$elapsed" -le "$(BENCH_SMOKE_BUDGET)" ] || { \
+		echo "bench-smoke: exceeded $(BENCH_SMOKE_BUDGET)s budget" >&2; exit 1; }
+
+## bench-json: run the benchmarks once and emit a BENCH_<n>.json trajectory
+## point (next free index; see cmd/benchjson for the format)
+bench-json:
+	sh scripts/bench_json.sh
+
+## bench-trajectory: regenerate the trajectory point and compare against the
+## newest checked-in BENCH_<n>.json — hard-fails on any allocs/op or B/op
+## regression; timing deltas are informational
+bench-trajectory:
+	sh scripts/bench_trajectory.sh
+
+## golden-identity: regenerate the quick sweep and the attack matrix at two
+## worker counts and byte-diff each against testdata/golden/
+golden-identity:
+	sh scripts/golden_identity.sh
 
 ## serve-smoke: black-box check of the ndaserve HTTP API — health, a quick
 ## sweep, byte-identical cache reuse, graceful SIGTERM drain
@@ -66,4 +91,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke serve-smoke dist-smoke
+ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke

@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +32,7 @@ func main() {
 		policyName = flag.String("policy", "OoO", "policy for -attack")
 		workers    = flag.Int("workers", 0, "parallel matrix workers (0 = one per CPU); verdicts are identical for any value")
 		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit); SIGINT/SIGTERM cancel the same way")
+		jsonOut    = flag.String("json", "", "with -matrix: also write the raw cells (verdicts and timing series) to this file as JSON")
 	)
 	flag.Parse()
 	params := ooo.DefaultParams()
@@ -47,7 +49,7 @@ func main() {
 
 	ran := false
 	if *matrix {
-		runMatrix(ctx, params, nworkers)
+		runMatrix(ctx, params, nworkers, *jsonOut)
 		ran = true
 	}
 	if *fig4 {
@@ -83,9 +85,19 @@ func main() {
 	}
 }
 
-func runMatrix(ctx context.Context, params ooo.Params, workers int) {
+func runMatrix(ctx context.Context, params ooo.Params, workers int, jsonOut string) {
 	cells, err := attack.MatrixCtx(ctx, params, workers)
 	check(err)
+	if jsonOut != "" {
+		// The raw grid, timing series included: the golden-identity CI job
+		// byte-diffs this against a checked-in golden, so any change to the
+		// cycle model that shifts an attack's timing shows up here even if
+		// every verdict still matches the paper.
+		buf, err := json.MarshalIndent(cells, "", "  ")
+		check(err)
+		check(os.WriteFile(jsonOut, buf, 0o644))
+		fmt.Fprintf(os.Stderr, "wrote %s\n", jsonOut)
+	}
 	fmt.Println("Attack x configuration matrix (paper Table 2 security columns).")
 	fmt.Println("LEAKED = secret byte recovered; blocked = timing series flat.")
 	fmt.Println()

@@ -125,6 +125,7 @@ var DefaultContract = []Rule{
 		"nda/internal/analysis", "nda/internal/cliutil"}},
 	{Path: "nda/cmd/ndaserve", Class: CLI, Allow: []string{
 		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve"}},
+	{Path: "nda/cmd/benchjson", Class: CLI},
 
 	// Documentation programs.
 	{Path: "nda/examples/quickstart", Class: Example, Allow: []string{"nda"}},

@@ -224,6 +224,27 @@ func (r *RAS) Snapshot() RASSnapshot {
 	return s
 }
 
+// SnapshotInto captures the RAS state into dst, reusing dst's backing array
+// when it is already the right size. The allocation-free equivalent of
+// Snapshot for callers that checkpoint on every call/return.
+func (r *RAS) SnapshotInto(dst *RASSnapshot) {
+	if len(dst.entries) != len(r.entries) {
+		dst.entries = make([]uint64, len(r.entries))
+	}
+	dst.top, dst.depth = r.top, r.depth
+	copy(dst.entries, r.entries)
+}
+
+// CopyInto copies the snapshot into dst, reusing dst's backing array when it
+// is already the right size. dst shares no storage with s afterwards.
+func (s RASSnapshot) CopyInto(dst *RASSnapshot) {
+	if len(dst.entries) != len(s.entries) {
+		dst.entries = make([]uint64, len(s.entries))
+	}
+	dst.top, dst.depth = s.top, s.depth
+	copy(dst.entries, s.entries)
+}
+
 // Restore rewinds the RAS to a snapshot.
 func (r *RAS) Restore(s RASSnapshot) {
 	r.top, r.depth = s.top, s.depth

@@ -38,13 +38,16 @@ type Core struct {
 	robHead int
 	robLen  int
 
-	// Schedulers, in age order.
-	iq []*Entry
-	lq []*Entry
-	sq []*Entry
+	// Schedulers, in age order: ROB ring slots (Entry.Slot). Capacity is
+	// fixed at construction, so dispatch and squash never allocate.
+	iq []int32
+	lq []int32
+	sq []int32
 
-	// Front end.
+	// Front end. fetchQ is a fixed ring of FetchQSize slots.
 	fetchQ      []fetchSlot
+	fqHead      int
+	fqLen       int
 	fetchPC     uint64
 	fetchStall  uint64 // fetch idle until this cycle
 	fetchWait   bool   // fetch blocked on an unresolved control instruction
@@ -84,6 +87,33 @@ type Core struct {
 	lastCommit   uint64 // cycle of the last commit (deadlock guard)
 	offChipLoads int    // currently outstanding DRAM loads
 
+	// Event-loop bookkeeping. progress is cleared at the top of every Step
+	// and set by any stage that changes simulator state; a cycle that ends
+	// with it clear is provably identical to the next one except for
+	// time-gated events, so Run/RunInsts jump c.cycle to the next event
+	// horizon (nextEventCycle) instead of stepping through dead cycles.
+	progress bool
+	// execOutstanding counts issued-but-incomplete entries and
+	// nextCompleteAt their earliest CompleteAt (may be stale-low after a
+	// squash, never stale-high), so completeExecution can skip its ROB scan
+	// on cycles with nothing due.
+	execOutstanding int
+	nextCompleteAt  uint64
+	// pendingBcast counts completed register-writing entries awaiting their
+	// tag broadcast; broadcastStage skips its deferred scan when zero.
+	pendingBcast int
+	// fencesInFlight counts un-completed FENCEs in the ROB, the early-out
+	// for olderFencePending's per-issue-candidate scan.
+	fencesInFlight int
+	// lastCancelPoll is the cycle of the most recent Cancel-channel poll;
+	// polls trigger on elapsed distance so event jumps cannot starve them.
+	lastCancelPoll uint64
+
+	// Reusable scratch buffers (capacity fixed at construction) so the
+	// per-cycle stages allocate nothing.
+	nodeBuf []*core.Node
+	doneBuf []*Entry
+
 	// commitValidate models InvisiSpec validation: commit is blocked until
 	// this cycle while an exposed load validates.
 	commitValidate uint64
@@ -113,14 +143,31 @@ func New(prog *isa.Program, m *mem.Memory, pol core.Policy, p Params) *Core {
 
 		regVal:        make([]uint64, p.PhysRegs),
 		regReady:      make([]bool, p.PhysRegs),
+		freeList:      make([]int, 0, p.PhysRegs),
 		rob:           make([]Entry, p.ROBSize),
+		iq:            make([]int32, 0, p.IQSize),
+		lq:            make([]int32, 0, p.LQSize),
+		sq:            make([]int32, 0, p.SQSize),
+		fetchQ:        make([]fetchSlot, p.FetchQSize),
 		fetchPC:       prog.Entry,
 		lastFetchLine: ^uint64(0),
 		userMode:      true,
 		nextSeq:       1,
+		nodeBuf:       make([]*core.Node, 0, p.ROBSize),
+		doneBuf:       make([]*Entry, 0, p.ROBSize),
 	}
 	for i := range c.rob {
-		c.rob[i].reset()
+		e := &c.rob[i]
+		e.Slot = int32(i)
+		// Pre-size the per-entry backing stores so the hot path never
+		// allocates: a load can bypass at most SQSize stores, and the RAS
+		// snapshot array matches the stack's entry count.
+		e.bypassed = make([]int32, 0, p.SQSize)
+		c.ras.SnapshotInto(&e.RASBefore)
+		e.reset()
+	}
+	for i := range c.fetchQ {
+		c.ras.SnapshotInto(&c.fetchQ[i].rasBefore)
 	}
 	// Map arch registers to the first NumGPR physical registers; the rest
 	// form the free list.
@@ -147,11 +194,37 @@ func (c *Core) robAt(i int) *Entry {
 	return &c.rob[(c.robHead+i)%len(c.rob)]
 }
 
+// entryAt returns the entry in the given ROB ring slot.
+func (c *Core) entryAt(slot int32) *Entry {
+	return &c.rob[slot]
+}
+
 // robAlloc appends a new entry at the tail and returns it.
 func (c *Core) robAlloc() *Entry {
 	e := c.robAt(c.robLen)
 	c.robLen++
 	return e
+}
+
+// fqAt returns the i-th oldest fetch-queue slot (0 = head).
+func (c *Core) fqAt(i int) *fetchSlot {
+	return &c.fetchQ[(c.fqHead+i)%len(c.fetchQ)]
+}
+
+// fqPush appends a fresh slot at the fetch queue's tail, preserving the
+// slot's RAS-snapshot backing array across reuse.
+func (c *Core) fqPush() *fetchSlot {
+	s := &c.fetchQ[(c.fqHead+c.fqLen)%len(c.fetchQ)]
+	c.fqLen++
+	ras := s.rasBefore
+	*s = fetchSlot{rasBefore: ras}
+	return s
+}
+
+// fqPop drops the fetch queue's head slot.
+func (c *Core) fqPop() {
+	c.fqHead = (c.fqHead + 1) % len(c.fetchQ)
+	c.fqLen--
 }
 
 // Cycles returns the number of cycles simulated so far.
@@ -219,15 +292,18 @@ func (c *Core) Memory() *mem.Memory { return c.mem }
 // translate it back into ctx.Err().
 var ErrCancelled = errors.New("ooo: simulation cancelled")
 
-// cancelStride is how many cycles may elapse between Cancel-channel polls;
-// a power of two so the check is a mask, not a division.
+// cancelStride is how many cycles may elapse between Cancel-channel polls.
 const cancelStride = 1 << 12
 
-// cancelled polls the Cancel channel at most once per cancelStride cycles.
+// cancelled polls the Cancel channel at most once per cancelStride elapsed
+// cycles. The poll triggers on distance since the last poll — not on a cycle
+// mask — so event-horizon jumps that skip over every stride-aligned cycle
+// still cannot starve cancellation.
 func (c *Core) cancelled() bool {
-	if c.Cancel == nil || c.cycle&(cancelStride-1) != 0 {
+	if c.Cancel == nil || c.cycle-c.lastCancelPoll < cancelStride {
 		return false
 	}
+	c.lastCancelPoll = c.cycle
 	select {
 	case <-c.Cancel:
 		return true
@@ -238,7 +314,15 @@ func (c *Core) cancelled() bool {
 
 // Run simulates until HALT commits or maxCycles elapse, whichever is first.
 // Exceeding maxCycles or deadlocking returns an error.
+//
+// Run is event-driven: after a cycle in which no stage changed any state, it
+// jumps c.cycle to the next event horizon (earliest pending completion,
+// replay, deferred broadcast, validation end, fetch-queue readiness, or
+// fetch-stall expiry) instead of stepping through the dead cycles one by
+// one. Statistics, timing, and outputs are byte-identical to per-cycle
+// stepping; only wall-clock time changes.
 func (c *Core) Run(maxCycles uint64) error {
+	jump := !c.p.Sanitize
 	for !c.halted {
 		if c.cycle >= maxCycles {
 			return fmt.Errorf("ooo: exceeded %d cycles without halting (pc=%#x, rob=%d)", maxCycles, c.fetchPC, c.robLen)
@@ -249,14 +333,18 @@ func (c *Core) Run(maxCycles uint64) error {
 		if err := c.Step(); err != nil {
 			return err
 		}
+		if jump && !c.progress && !c.halted {
+			c.skipAhead(maxCycles)
+		}
 	}
 	return nil
 }
 
 // RunInsts simulates until at least n more instructions commit, HALT
 // commits, or maxCycles elapse. Used by the sampling harness for fixed
-// instruction windows.
+// instruction windows. Like Run, it jumps over provably dead cycles.
 func (c *Core) RunInsts(n, maxCycles uint64) error {
+	jump := !c.p.Sanitize
 	target := c.retired + n
 	for !c.halted && c.retired < target {
 		if c.cycle >= maxCycles {
@@ -268,8 +356,99 @@ func (c *Core) RunInsts(n, maxCycles uint64) error {
 		if err := c.Step(); err != nil {
 			return err
 		}
+		if jump && !c.progress && !c.halted {
+			c.skipAhead(maxCycles)
+		}
 	}
 	return nil
+}
+
+// skipAhead advances a quiescent core to just before the next cycle at
+// which any stage could act. Called only after a Step that set no progress
+// flag: by induction every skipped cycle would have repeated the same
+// no-op stage walk and the same commit-stage stall accounting, so the
+// bulk-accounted statistics are exactly what per-cycle stepping produces.
+//
+// The horizon is capped at the deadlock bound (so a genuinely dead core
+// still reports its deadlock at the identical cycle) and at maxCycles+1 (so
+// a budget overrun leaves c.cycle and the statistics exactly where the
+// per-cycle loop would have stopped).
+func (c *Core) skipAhead(maxCycles uint64) {
+	h := c.nextEventCycle()
+	if d := c.lastCommit + c.p.DeadlockCycles + 1; h > d {
+		h = d
+	}
+	if h > maxCycles+1 && maxCycles+1 > maxCycles {
+		h = maxCycles + 1
+	}
+	if h <= c.cycle+1 {
+		return
+	}
+	c.skipTo(h)
+}
+
+// skipTo bulk-accounts the dead cycles c.cycle+1 .. h-1 and moves the clock
+// to h-1, so the next Step simulates cycle h. The accounting mirrors
+// commitStage's zero-commit path: the stall classification cannot change
+// while no stage acts, and neither can the outstanding off-chip load count.
+func (c *Core) skipTo(h uint64) {
+	k := h - 1 - c.cycle
+	switch {
+	case c.robLen == 0:
+		c.stats.FrontendStalls += k
+	case c.robAt(0).isMem() && !c.robAt(0).Node.Completed:
+		c.stats.MemStallCycles += k
+	default:
+		c.stats.BackendStalls += k
+	}
+	c.stats.Cycles += k
+	if c.offChipLoads > 0 {
+		c.stats.MLPSum += uint64(c.offChipLoads) * k
+		c.stats.MLPCycles += k
+	}
+	c.cycle = h - 1
+}
+
+// nextEventCycle returns the earliest future cycle at which a stage of a
+// currently quiescent core could act: an execution completing, a replay
+// retrying, a deferred broadcast's delay expiring, InvisiSpec validation
+// ending, the fetch queue's head reaching dispatch depth, or a fetch stall
+// elapsing. Waits with no intrinsic timer (operand readiness, guard
+// resolution, resource exhaustion) are all unblocked by one of these, so
+// they need no terms of their own. Returns c.cycle+1 if no timed event is
+// pending (the deadlock bound in skipAhead still guarantees termination).
+func (c *Core) nextEventCycle() uint64 {
+	const never = ^uint64(0)
+	h := never
+	consider := func(v uint64) {
+		if v > c.cycle && v < h {
+			h = v
+		}
+	}
+	for i := 0; i < c.robLen; i++ {
+		e := c.robAt(i)
+		if e.Issued && !e.Node.Completed {
+			consider(e.CompleteAt)
+		} else if e.InIQ && e.RetryAt > c.cycle {
+			consider(e.RetryAt)
+		}
+		if e.Node.Completed && !e.Node.Broadcast && e.DestP != noPReg && e.HasSafeSince {
+			consider(e.SafeSince + uint64(c.policy.ExtraBroadcastDelay))
+		}
+	}
+	if c.commitValidate > c.cycle {
+		consider(c.commitValidate)
+	}
+	if c.fqLen > 0 {
+		consider(c.fqAt(0).readyAt)
+	}
+	if !c.fetchWait && !c.fetchDead && !c.halted && c.fetchStall > c.cycle {
+		consider(c.fetchStall)
+	}
+	if h == never {
+		return c.cycle + 1
+	}
+	return h
 }
 
 // DebugState renders a one-line pipeline snapshot for diagnostics.
@@ -280,9 +459,9 @@ func (c *Core) DebugState() string {
 		head = fmt.Sprintf("head{seq=%d pc=%#x %v issued=%v comp=%v}", e.Seq, e.PC, e.Inst, e.Issued, e.Node.Completed)
 	}
 	fq := "fq-empty"
-	if len(c.fetchQ) > 0 {
-		s := c.fetchQ[0]
-		fq = fmt.Sprintf("fq[%d]{pc=%#x %v valid=%v ready@%d}", len(c.fetchQ), s.pc, s.inst, s.valid, s.readyAt)
+	if c.fqLen > 0 {
+		s := c.fqAt(0)
+		fq = fmt.Sprintf("fq[%d]{pc=%#x %v valid=%v ready@%d}", c.fqLen, s.pc, s.inst, s.valid, s.readyAt)
 	}
 	return fmt.Sprintf("cyc=%d rob=%d iq=%d lq=%d sq=%d fetchPC=%#x wait=%v dead=%v stall>%d validate>%d %s %s",
 		c.cycle, c.robLen, len(c.iq), len(c.lq), len(c.sq), c.fetchPC, c.fetchWait, c.fetchDead, c.fetchStall, c.commitValidate, head, fq)

@@ -10,13 +10,18 @@ import (
 const noPReg = -1
 
 // Entry is one reorder-buffer entry: a dispatched micro-op and all of its
-// in-flight state. Entries live in a fixed ring; pointers to them are held
-// by the issue queue and the load/store queues only while the entry is in
-// flight.
+// in-flight state. Entries live in a fixed ring; the issue queue and the
+// load/store queues refer to them by ring slot (Entry.Slot), which is stable
+// for an entry's whole lifetime, so the schedulers are plain index slices
+// with no per-dispatch allocation.
 type Entry struct {
 	Seq  uint64 // global age; assigned at fetch, monotonically increasing
 	PC   uint64
 	Inst isa.Inst
+
+	// Slot is the entry's fixed position in the ROB ring backing array;
+	// assigned once at core construction and preserved across reset.
+	Slot int32
 
 	// Renaming.
 	DestP int // destination physical register, or noPReg
@@ -47,9 +52,11 @@ type Entry struct {
 	AddrKnown bool
 	// ForwardSeq is the store this load forwarded from (0 = none).
 	ForwardSeq uint64
-	// bypassed holds older stores whose addresses were unknown when this
-	// load executed; used for Bypass Restriction and violation tracking.
-	bypassed []*Entry
+	// bypassed holds the ROB slots of older stores whose addresses were
+	// unknown when this load executed; used for Bypass Restriction and
+	// violation tracking. A bypassed store is always older than the load,
+	// so a squash that frees the store's slot frees the load's too.
+	bypassed []int32
 	OffChip  bool // load serviced by DRAM (counts toward MLP while in flight)
 	Inflight bool // load access outstanding (between issue and completion)
 
@@ -90,10 +97,14 @@ type TraceEvent struct {
 	Retire    uint64
 }
 
-// reset clears an entry for reuse, preserving its backing storage.
+// reset clears an entry for reuse, preserving its backing storage: the
+// bypassed slice, the RAS snapshot's array (its contents are stale but
+// HasRASCkpt is cleared), and the fixed ring slot.
 func (e *Entry) reset() {
 	bypassed := e.bypassed[:0]
-	*e = Entry{bypassed: bypassed, DestP: noPReg, PrevP: noPReg, Src1P: noPReg, Src2P: noPReg}
+	ras := e.RASBefore
+	slot := e.Slot
+	*e = Entry{bypassed: bypassed, RASBefore: ras, Slot: slot, DestP: noPReg, PrevP: noPReg, Src1P: noPReg, Src2P: noPReg}
 }
 
 // isMem reports whether the entry is a data-memory operation.

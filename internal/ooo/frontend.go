@@ -11,8 +11,8 @@ import (
 // sits at the head of the queue until a squash discards it, which is why
 // phantom branches are not a steering threat (§4.1 of the paper).
 func (c *Core) dispatchStage() {
-	for budget := c.p.DispatchWidth; budget > 0 && len(c.fetchQ) > 0; budget-- {
-		s := &c.fetchQ[0]
+	for budget := c.p.DispatchWidth; budget > 0 && c.fqLen > 0; budget-- {
+		s := c.fqAt(0)
 		if s.readyAt > c.cycle {
 			return
 		}
@@ -38,7 +38,12 @@ func (c *Core) dispatchStage() {
 		e.PredTarget = s.predTarget
 		e.GshCkpt = s.gshCkpt
 		e.HasGshCkpt = s.hasGshCkpt
-		e.RASBefore = s.rasBefore
+		if s.hasRASCkpt {
+			// Copy (not alias) the snapshot: the ring slot's backing array
+			// is reused as soon as the slot is, while the entry's
+			// checkpoint must survive until retirement or squash.
+			s.rasBefore.CopyInto(&e.RASBefore)
+		}
 		e.HasRASCkpt = s.hasRASCkpt
 
 		// Rename sources before the destination so "add x1, x1, x1" reads
@@ -66,14 +71,18 @@ func (c *Core) dispatchStage() {
 		}
 
 		e.InIQ = true
-		c.iq = append(c.iq, e)
+		c.iq = append(c.iq, e.Slot)
 		if inst.IsLoad() {
-			c.lq = append(c.lq, e)
+			c.lq = append(c.lq, e.Slot)
 		}
 		if inst.IsStore() {
-			c.sq = append(c.sq, e)
+			c.sq = append(c.sq, e.Slot)
 		}
-		c.fetchQ = c.fetchQ[1:]
+		if inst.Op == isa.OpFence {
+			c.fencesInFlight++
+		}
+		c.fqPop()
+		c.progress = true
 	}
 }
 
@@ -90,10 +99,11 @@ func (c *Core) fetchStage() {
 	lineMask := ^uint64(c.hier.LineBytes() - 1)
 	pc := c.fetchPC
 
-	for budget := c.p.FetchWidth; budget > 0 && len(c.fetchQ) < c.p.FetchQSize; budget-- {
+	for budget := c.p.FetchWidth; budget > 0 && c.fqLen < c.p.FetchQSize; budget-- {
 		if line := pc & lineMask; line != c.lastFetchLine {
 			res := c.hier.Inst(pc)
 			c.lastFetchLine = line
+			c.progress = true
 			if res.Level != cache.LevelL1 {
 				c.fetchStall = c.cycle + uint64(res.Latency)
 				c.fetchPC = pc
@@ -102,20 +112,19 @@ func (c *Core) fetchStage() {
 		}
 
 		inst, ok := c.prog.At(pc)
-		s := fetchSlot{
-			seq:     c.nextSeq,
-			pc:      pc,
-			inst:    inst,
-			valid:   ok && inst.Op.Valid(),
-			readyAt: c.cycle + uint64(c.p.FrontEndDepth),
-		}
+		s := c.fqPush()
+		s.seq = c.nextSeq
+		s.pc = pc
+		s.inst = inst
+		s.valid = ok && inst.Op.Valid()
+		s.readyAt = c.cycle + uint64(c.p.FrontEndDepth)
 		c.nextSeq++
+		c.progress = true
 
 		if !s.valid {
 			// Fetch ran off the rails (wrong-path into data or past the
-			// text segment). Enqueue the undecodable slot — it blocks
-			// dispatch — and stop fetching until a redirect.
-			c.fetchQ = append(c.fetchQ, s)
+			// text segment). Leave the undecodable slot enqueued — it
+			// blocks dispatch — and stop fetching until a redirect.
 			c.fetchDead = true
 			c.fetchPC = pc
 			return
@@ -143,7 +152,7 @@ func (c *Core) fetchStage() {
 
 		case inst.Op == isa.OpJal:
 			if inst.IsCall() {
-				s.rasBefore = c.ras.Snapshot()
+				c.ras.SnapshotInto(&s.rasBefore)
 				s.hasRASCkpt = true
 				c.ras.Push(next)
 			}
@@ -153,7 +162,7 @@ func (c *Core) fetchStage() {
 			next = s.predTarget
 
 		case inst.Op == isa.OpJalr:
-			s.rasBefore = c.ras.Snapshot()
+			c.ras.SnapshotInto(&s.rasBefore)
 			s.hasRASCkpt = true
 			switch {
 			case c.noSpec:
@@ -184,7 +193,6 @@ func (c *Core) fetchStage() {
 		case inst.Op == isa.OpHalt:
 			// Stop fetching past a halt; if it was wrong-path, the squash
 			// redirects fetch anyway.
-			c.fetchQ = append(c.fetchQ, s)
 			c.fetchDead = true
 			c.fetchPC = pc + isa.InstBytes
 			return
@@ -194,13 +202,11 @@ func (c *Core) fetchStage() {
 			// until it retires (Listing 4 of the paper needs the very next
 			// instruction to already run under the no-speculation regime).
 			// retire() resumes fetch; a squash discards the stall.
-			c.fetchQ = append(c.fetchQ, s)
 			c.fetchDead = true
 			c.fetchPC = pc + isa.InstBytes
 			return
 		}
 
-		c.fetchQ = append(c.fetchQ, s)
 		if wait {
 			c.fetchWait = true
 			c.fetchWaitSq = s.seq

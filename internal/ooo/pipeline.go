@@ -15,6 +15,7 @@ import (
 // after fetch.
 func (c *Core) Step() error {
 	c.cycle++
+	c.progress = false
 
 	completed := c.completeExecution()
 	c.recomputeSafety()
@@ -66,19 +67,37 @@ func (c *Core) pReady(p int) bool {
 // detecting memory-order violations). Returns the completed entries in age
 // order for broadcast arbitration.
 func (c *Core) completeExecution() []*Entry {
-	var done []*Entry
+	// Nothing in execution, or nothing due yet: skip the ROB scan.
+	// nextCompleteAt may be stale-low after a squash (costing one wasted
+	// scan), never stale-high.
+	if c.execOutstanding == 0 || c.nextCompleteAt > c.cycle {
+		return nil
+	}
+	done := c.doneBuf[:0]
+	nextDue := ^uint64(0)
 	for i := 0; i < c.robLen; i++ {
 		e := c.robAt(i)
-		if !e.Issued || e.Node.Completed || e.CompleteAt > c.cycle {
+		if !e.Issued || e.Node.Completed {
+			continue
+		}
+		if e.CompleteAt > c.cycle {
+			if e.CompleteAt < nextDue {
+				nextDue = e.CompleteAt
+			}
 			continue
 		}
 		e.Node.Completed = true
+		c.execOutstanding--
 		if e.DestP != noPReg {
 			c.regVal[e.DestP] = e.Result
+			c.pendingBcast++
 		} else {
 			// Nothing to propagate: destination-less micro-ops are
 			// trivially "broadcast".
 			e.Node.Broadcast = true
+		}
+		if e.Inst.Op == isa.OpFence {
+			c.fencesInFlight--
 		}
 		if e.Inflight {
 			e.Inflight = false
@@ -101,6 +120,10 @@ func (c *Core) completeExecution() []*Entry {
 		}
 
 		done = append(done, e)
+	}
+	c.nextCompleteAt = nextDue
+	if len(done) > 0 {
+		c.progress = true
 	}
 	return done
 }
@@ -167,7 +190,8 @@ func (c *Core) resolveStore(e *Entry) {
 	// from anywhere older than this store observed a stale value.
 	var victim *Entry
 	size := e.Inst.MemBytes()
-	for _, ld := range c.lq {
+	for _, li := range c.lq {
+		ld := c.entryAt(li)
 		if ld.Seq <= e.Seq || !ld.Issued || !ld.AddrKnown {
 			continue
 		}
@@ -184,9 +208,10 @@ func (c *Core) resolveStore(e *Entry) {
 	// Clear the bypass guards this store held on surviving loads. This must
 	// happen even on the violation path: the store resolves exactly once,
 	// and loads older than the squash point live on.
-	for _, ld := range c.lq {
+	for _, li := range c.lq {
+		ld := c.entryAt(li)
 		for i, s := range ld.bypassed {
-			if s == e {
+			if s == e.Slot {
 				ld.bypassed = append(ld.bypassed[:i], ld.bypassed[i+1:]...)
 				ld.Node.BypassGuards--
 				break
@@ -203,9 +228,9 @@ func (c *Core) recomputeSafety() {
 	if !c.policy.GuardBranches {
 		return
 	}
-	nodes := make([]*core.Node, c.robLen)
+	nodes := c.nodeBuf[:0]
 	for i := 0; i < c.robLen; i++ {
-		nodes[i] = &c.robAt(i).Node
+		nodes = append(nodes, &c.robAt(i).Node)
 	}
 	c.policy.RecomputeGuards(nodes)
 
@@ -216,6 +241,7 @@ func (c *Core) recomputeSafety() {
 				c.hier.InstallData(e.Addr)
 				e.Exposed = true
 				c.stats.Exposures++
+				c.progress = true
 			}
 		}
 	}
@@ -225,6 +251,9 @@ func (c *Core) recomputeSafety() {
 // this cycle have priority; deferred (completed earlier, newly safe)
 // instructions compete for the remaining ports in age order (§5.1).
 func (c *Core) broadcastStage(completedNow []*Entry) {
+	if c.pendingBcast == 0 {
+		return
+	}
 	ports := c.p.BroadcastPorts
 
 	for _, e := range completedNow {
@@ -239,7 +268,7 @@ func (c *Core) broadcastStage(completedNow []*Entry) {
 			ports--
 		}
 	}
-	if ports == 0 {
+	if ports == 0 || c.pendingBcast == 0 {
 		return
 	}
 	for i := 0; i < c.robLen && ports > 0; i++ {
@@ -253,6 +282,7 @@ func (c *Core) broadcastStage(completedNow []*Entry) {
 		if !e.HasSafeSince {
 			e.HasSafeSince = true
 			e.SafeSince = c.cycle
+			c.progress = true
 		}
 		if c.cycle < e.SafeSince+uint64(c.policy.ExtraBroadcastDelay) {
 			continue
@@ -266,6 +296,8 @@ func (c *Core) doBroadcast(e *Entry) {
 	c.regReady[e.DestP] = true
 	e.Node.Broadcast = true
 	e.BcastCycle = c.cycle
+	c.pendingBcast--
+	c.progress = true
 	if c.cycle > e.CompleteAt {
 		c.stats.DeferredBroadcasts++
 		c.stats.DeferralCycles += c.cycle - e.CompleteAt
@@ -279,45 +311,54 @@ func (c *Core) atHead(e *Entry) bool {
 // ---- commit ----
 
 func (c *Core) commitStage() error {
+	committed, err := c.commitInsts()
+	// The per-cycle stall accounting. skipTo replicates the committed==0
+	// arm for bulk-skipped dead cycles; the two must stay in lockstep.
+	switch {
+	case committed > 0:
+		c.stats.CommitCycles++
+		c.lastCommit = c.cycle
+		c.progress = true
+	case c.robLen == 0:
+		c.stats.FrontendStalls++
+	case c.robAt(0).isMem() && !c.robAt(0).Node.Completed:
+		c.stats.MemStallCycles++
+	default:
+		c.stats.BackendStalls++
+	}
+	c.stats.Cycles++
+	c.stats.Committed += uint64(committed)
+	if c.offChipLoads > 0 {
+		c.stats.MLPSum += uint64(c.offChipLoads)
+		c.stats.MLPCycles++
+	}
+	return err
+}
+
+// commitInsts retires up to CommitWidth ready instructions from the ROB
+// head and reports how many retired (commitStage wraps it with the stall
+// accounting the old deferred closure used to do).
+func (c *Core) commitInsts() (int, error) {
 	committed := 0
-	defer func() {
-		switch {
-		case committed > 0:
-			c.stats.CommitCycles++
-			c.lastCommit = c.cycle
-		case c.robLen == 0:
-			c.stats.FrontendStalls++
-		case c.robAt(0).isMem() && !c.robAt(0).Node.Completed:
-			c.stats.MemStallCycles++
-		default:
-			c.stats.BackendStalls++
-		}
-		c.stats.Cycles++
-		c.stats.Committed += uint64(committed)
-		if c.offChipLoads > 0 {
-			c.stats.MLPSum += uint64(c.offChipLoads)
-			c.stats.MLPCycles++
-		}
-	}()
 
 	if c.commitValidate > c.cycle {
-		return nil // InvisiSpec validation in progress blocks retirement
+		return committed, nil // InvisiSpec validation in progress blocks retirement
 	}
 
 	for budget := c.p.CommitWidth; budget > 0 && c.robLen > 0; budget-- {
 		e := c.robAt(0)
 		if !e.Node.Completed {
-			return nil
+			return committed, nil
 		}
 		if e.DestP != noPReg && !e.Node.Broadcast {
-			return nil // waiting for a (possibly NDA-deferred) broadcast
+			return committed, nil // waiting for a (possibly NDA-deferred) broadcast
 		}
 		if c.policy.LoadRestriction && e.Node.Class == isa.ClassLoad &&
 			e.DestP != noPReg && e.BcastCycle == c.cycle {
 			// Load restriction: the head-of-ROB wake-up and the retirement
 			// are sequential commit-stage actions — the load retires the
 			// cycle after it wakes its dependents (§5.3).
-			return nil
+			return committed, nil
 		}
 
 		// InvisiSpec exposure/validation at the retirement safe point.
@@ -325,11 +366,12 @@ func (c *Core) commitStage() error {
 			c.hier.InstallData(e.Addr)
 			e.Exposed = true
 			c.stats.Exposures++
+			c.progress = true
 			if !e.WasPresent {
 				lat := uint64(c.hier.Params().L1D.HitLatency)
 				c.commitValidate = c.cycle + lat
 				c.stats.ValidationStall += lat
-				return nil // retire after validation completes
+				return committed, nil // retire after validation completes
 			}
 		}
 
@@ -340,18 +382,18 @@ func (c *Core) commitStage() error {
 			c.retired++
 			committed++
 			c.stats.Faults++
-			return c.deliverFault(e)
+			return committed, c.deliverFault(e)
 		}
 
 		if err := c.retire(e); err != nil {
-			return err
+			return committed, err
 		}
 		committed++
 		if c.halted {
-			return nil
+			return committed, nil
 		}
 	}
-	return nil
+	return committed, nil
 }
 
 // retire commits the head entry's architectural side effects and frees it.
@@ -375,12 +417,12 @@ func (c *Core) retire(e *Entry) error {
 	case inst.IsStore():
 		c.mem.Write(e.Addr, inst.MemBytes(), c.readP(e.Src2P))
 		c.hier.Data(e.Addr) // timing side effect of the store's fill
-		if len(c.sq) > 0 && c.sq[0] == e {
-			c.sq = c.sq[1:]
+		if len(c.sq) > 0 && c.sq[0] == e.Slot {
+			c.sq = popFront(c.sq)
 		}
 	case inst.IsLoad():
-		if len(c.lq) > 0 && c.lq[0] == e {
-			c.lq = c.lq[1:]
+		if len(c.lq) > 0 && c.lq[0] == e.Slot {
+			c.lq = popFront(c.lq)
 		}
 	case inst.Op == isa.OpWrmsr:
 		c.msr[uint16(inst.Imm)] = c.readP(e.Src1P)
@@ -437,6 +479,15 @@ func (c *Core) deliverFault(e *Entry) error {
 	return nil
 }
 
+// popFront drops q's head in place, keeping the slice anchored to the start
+// of its backing array so the queue's fixed capacity is never lost to
+// re-slicing (the queues are at most 32 entries; the copy is cheaper than a
+// ring's index arithmetic on every scan).
+func popFront(q []int32) []int32 {
+	copy(q, q[1:])
+	return q[:len(q)-1]
+}
+
 // ---- squash ----
 
 // squashFrom removes every instruction with sequence number >= seq from the
@@ -444,13 +495,15 @@ func (c *Core) deliverFault(e *Entry) error {
 // and predictor checkpoints, then redirects fetch to newPC.
 func (c *Core) squashFrom(seq, newPC uint64) {
 	c.stats.Squashes++
+	c.progress = true
 
 	// Fetch queue slots are the youngest instructions; rewind their
 	// predictor checkpoints youngest-first, then drop them all (their seqs
 	// are always >= any ROB seq, and squash points never land inside the
-	// fetch queue's seq range with entries to keep).
-	for i := len(c.fetchQ) - 1; i >= 0; i-- {
-		s := &c.fetchQ[i]
+	// fetch queue's seq range with entries to keep). Slot seqs ascend with
+	// queue position, so dropping is a tail truncation of the ring.
+	for i := c.fqLen - 1; i >= 0; i-- {
+		s := c.fqAt(i)
 		if s.seq < seq {
 			continue
 		}
@@ -461,13 +514,9 @@ func (c *Core) squashFrom(seq, newPC uint64) {
 			c.ras.Restore(s.rasBefore)
 		}
 	}
-	kept := c.fetchQ[:0]
-	for _, s := range c.fetchQ {
-		if s.seq < seq {
-			kept = append(kept, s)
-		}
+	for c.fqLen > 0 && c.fqAt(c.fqLen-1).seq >= seq {
+		c.fqLen--
 	}
-	c.fetchQ = kept
 
 	// Drop squashed entries from the schedulers before the ROB walk resets
 	// them (reset zeroes Seq, which the queue filter keys on).
@@ -482,6 +531,15 @@ func (c *Core) squashFrom(seq, newPC uint64) {
 			rd, _ := e.Inst.WritesReg()
 			c.rat[rd] = e.PrevP
 			c.freeList = append(c.freeList, e.DestP)
+			if e.Node.Completed && !e.Node.Broadcast {
+				c.pendingBcast--
+			}
+		}
+		if e.Issued && !e.Node.Completed {
+			c.execOutstanding--
+		}
+		if e.Inst.Op == isa.OpFence && !e.Node.Completed {
+			c.fencesInFlight--
 		}
 		if e.HasGshCkpt {
 			c.gsh.SetHistory(e.GshCkpt)
@@ -512,11 +570,11 @@ func (c *Core) squashFrom(seq, newPC uint64) {
 }
 
 func (c *Core) filterQueues(seq uint64) {
-	filter := func(q []*Entry) []*Entry {
+	filter := func(q []int32) []int32 {
 		kept := q[:0]
-		for _, e := range q {
-			if e.Seq < seq {
-				kept = append(kept, e)
+		for _, si := range q {
+			if c.rob[si].Seq < seq {
+				kept = append(kept, si)
 			}
 		}
 		return kept
@@ -533,7 +591,7 @@ func (c *Core) issueStage() {
 	issued := 0
 	anyRemoved := false
 	for i := 0; i < len(c.iq) && budget > 0; i++ {
-		e := c.iq[i]
+		e := c.entryAt(c.iq[i])
 		if e.RetryAt > c.cycle {
 			continue
 		}
@@ -544,21 +602,28 @@ func (c *Core) issueStage() {
 			continue
 		}
 		if !c.execute(e) {
-			continue // replay scheduled
+			// Replay scheduled: RetryAt moved, so the cycle is not dead
+			// even though nothing issued.
+			c.progress = true
+			continue
 		}
 		e.Issued = true
 		e.IssuedAt = c.cycle
 		e.InIQ = false
-		c.iq[i] = nil
+		c.execOutstanding++
+		if e.CompleteAt < c.nextCompleteAt || c.execOutstanding == 1 {
+			c.nextCompleteAt = e.CompleteAt
+		}
+		c.iq[i] = -1
 		anyRemoved = true
 		budget--
 		issued++
 	}
 	if anyRemoved {
 		kept := c.iq[:0]
-		for _, e := range c.iq {
-			if e != nil {
-				kept = append(kept, e)
+		for _, si := range c.iq {
+			if si >= 0 {
+				kept = append(kept, si)
 			}
 		}
 		c.iq = kept
@@ -566,6 +631,7 @@ func (c *Core) issueStage() {
 	if issued > 0 {
 		c.stats.ILPSum += uint64(issued)
 		c.stats.ILPCycles++
+		c.progress = true
 	}
 }
 
@@ -627,6 +693,12 @@ func (c *Core) oldersCompleted(e *Entry) bool {
 }
 
 func (c *Core) olderFencePending(e *Entry) bool {
+	if c.fencesInFlight == 0 {
+		// No un-completed FENCE anywhere in the ROB — the common case, and
+		// the reason this check is a counter test instead of a scan per
+		// issue candidate per cycle.
+		return false
+	}
 	for i := 0; i < c.robLen; i++ {
 		o := c.robAt(i)
 		if o.Seq >= e.Seq {
@@ -732,12 +804,12 @@ func (c *Core) executeLoad(e *Entry) bool {
 	var fwd *Entry
 	e.bypassed = e.bypassed[:0]
 	for i := len(c.sq) - 1; i >= 0; i-- {
-		s := c.sq[i]
+		s := c.entryAt(c.sq[i])
 		if s.Seq > e.Seq {
 			continue
 		}
 		if !s.Issued || !s.AddrKnown {
-			e.bypassed = append(e.bypassed, s)
+			e.bypassed = append(e.bypassed, s.Slot)
 			continue
 		}
 		ssize := s.Inst.MemBytes()
@@ -808,6 +880,9 @@ func (c *Core) executeLoad(e *Entry) bool {
 // olderUnresolvedBranch reports whether a branch older than e has not yet
 // resolved its direction and target.
 func (c *Core) olderUnresolvedBranch(e *Entry) bool {
+	if c.unresolvedBranches == 0 {
+		return false
+	}
 	for i := 0; i < c.robLen; i++ {
 		o := c.robAt(i)
 		if o.Seq >= e.Seq {

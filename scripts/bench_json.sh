@@ -1,0 +1,44 @@
+#!/bin/sh
+# bench-json: run the performance benchmarks and emit one machine-readable
+# trajectory point (the BENCH_<n>.json format, see cmd/benchjson).
+#
+#   sh scripts/bench_json.sh                # print to stdout, next free index
+#   sh scripts/bench_json.sh out.json       # write to a file
+#   BENCH_INDEX=3 sh scripts/bench_json.sh  # force the trajectory index
+#   BENCH_NOTE="post-refactor" ...          # stamp a note
+#
+# The bench set is the root package's Fig/Table benchmarks plus the
+# simulator micro-benchmarks (bench_test.go); -benchtime=1x keeps one run
+# per benchmark — exact for allocs/op (the gated number) and good enough
+# for the informational timing columns.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+OUT=${1:-}
+INDEX=${BENCH_INDEX:-}
+NOTE=${BENCH_NOTE:-}
+
+if [ -z "$INDEX" ]; then
+    # Next free index after the highest checked-in BENCH_<n>.json.
+    INDEX=0
+    for f in BENCH_*.json; do
+        [ -f "$f" ] || continue
+        n=${f#BENCH_}
+        n=${n%.json}
+        case "$n" in *[!0-9]*) continue ;; esac
+        [ "$n" -ge "$INDEX" ] && INDEX=$((n + 1))
+    done
+fi
+
+TMP=$(mktemp)
+trap 'rm -f "$TMP"' EXIT
+
+go test -run='^$' -bench=. -benchmem -benchtime=1x . >"$TMP"
+
+if [ -n "$OUT" ]; then
+    go run ./cmd/benchjson -index "$INDEX" -note "$NOTE" <"$TMP" >"$OUT"
+    echo "bench-json: wrote $OUT (index $INDEX)" >&2
+else
+    go run ./cmd/benchjson -index "$INDEX" -note "$NOTE" <"$TMP"
+fi
