@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke vet ndavet contract-check lint fmt fmt-check ci
+.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke fuzz-smoke vet ndavet contract-check lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -59,13 +59,19 @@ serve-smoke:
 dist-smoke:
 	sh scripts/dist_smoke.sh
 
+## fuzz-smoke: differential soundness fuzzing on a pinned seed range — the
+## gadget analyzer's SAFE verdicts cross-checked against dynamic simulation
+## on generated programs; any static-SAFE/dynamic-leak disagreement fails
+fuzz-smoke:
+	sh scripts/fuzz_smoke.sh
+
 ## vet: static analysis
 vet:
 	$(GO) vet ./...
 
 ## ndavet: the determinism/layering analyzer over the repo's own source —
-## detlint, globlint, layerlint, locklint; fails on any finding without a
-## reasoned //ndavet:allow annotation
+## detlint, errlint, globlint, layerlint, locklint; fails on any finding
+## without a reasoned //ndavet:allow annotation
 ndavet:
 	$(GO) run ./cmd/ndavet
 
@@ -91,4 +97,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke
+ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke fuzz-smoke

@@ -7,6 +7,13 @@
 //	ndalint -program meltdown  # one program's gadgets with verdict reasons
 //	ndalint -check             # CI gate: static verdicts must match Table 2,
 //	                           # and workloads must have no chosen-code gadget
+//	ndalint -fuzz 500 -seed 1  # differential soundness sweep: static verdicts
+//	                           # vs dynamic simulation over generated programs
+//
+// Exit codes follow the shared analysis convention: 0 clean, 1 when the
+// run surfaces findings — -check mismatches, or any fuzz soundness
+// violation or failed program — also under -json, and 2 when the tool
+// itself fails (unknown program, contradictory flags).
 package main
 
 import (
@@ -14,7 +21,8 @@ import (
 	"fmt"
 	"os"
 
-	"nda/internal/cliutil"
+	"nda/internal/analysis"
+	"nda/internal/diffuzz"
 	"nda/internal/gadget"
 )
 
@@ -24,11 +32,22 @@ func main() {
 		check   = flag.Bool("check", false, "fail on unexpected findings (attack verdicts vs Table 2; chosen-code gadgets in workloads)")
 		program = flag.String("program", "", "detail one built-in program's gadgets and verdict reasons")
 		workers = flag.Int("workers", 0, "analysis workers (0 = one per CPU); output is identical for any value")
+		fuzz    = flag.Int("fuzz", 0, "run the differential soundness fuzzer over this many generated programs")
+		seed    = flag.Int64("seed", 1, "base seed for -fuzz; seeds are base..base+n-1, so a run is pinned by (seed, fuzz)")
 	)
 	flag.Parse()
 
+	if *fuzz > 0 {
+		if *check || *program != "" {
+			fmt.Fprintln(os.Stderr, "ndalint: -fuzz does not combine with -check or -program")
+			os.Exit(analysis.ExitToolError)
+		}
+		runFuzz(*fuzz, *seed, *workers, *jsonOut)
+		return
+	}
+
 	ins, err := gadget.Builtins()
-	checkErr(err)
+	toolErr(err)
 	if *program != "" {
 		filtered := ins[:0]
 		for _, in := range ins {
@@ -40,18 +59,18 @@ func main() {
 		}
 		if len(filtered) == 0 {
 			fmt.Fprintf(os.Stderr, "ndalint: unknown program %q\n", *program)
-			os.Exit(2)
+			os.Exit(analysis.ExitToolError)
 		}
 		ins = filtered
 	}
 
 	report, err := gadget.BuildReport(ins, *workers)
-	checkErr(err)
+	toolErr(err)
 
 	switch {
 	case *jsonOut:
 		out, err := report.JSON()
-		checkErr(err)
+		toolErr(err)
 		os.Stdout.Write(out)
 	case *program != "":
 		for i := range report.Programs {
@@ -64,7 +83,7 @@ func main() {
 	if *check {
 		if *program != "" {
 			fmt.Fprintln(os.Stderr, "ndalint: -check requires the full built-in set (omit -program)")
-			os.Exit(2)
+			os.Exit(analysis.ExitToolError)
 		}
 		fails := gadget.Check(report)
 		if len(fails) > 0 {
@@ -72,10 +91,46 @@ func main() {
 			for i := range fails {
 				fmt.Fprintln(os.Stderr, "  "+fails[i].String())
 			}
-			os.Exit(1)
+			os.Exit(analysis.ExitFindings)
 		}
 		fmt.Println("\nndalint: all static verdicts match Table 2; workloads free of chosen-code gadgets")
 	}
 }
 
-func checkErr(err error) { cliutil.Check("ndalint", err) }
+// runFuzz drives the differential soundness harness: any failed program
+// or soundness violation (static SAFE, dynamic leak) is a finding.
+func runFuzz(n int, seed int64, workers int, jsonOut bool) {
+	s := diffuzz.Fuzz(diffuzz.Seeds(seed, n), workers)
+	if jsonOut {
+		out, err := analysis.MarshalReport(s)
+		toolErr(err)
+		os.Stdout.Write(out)
+	} else {
+		fmt.Print(s.String())
+	}
+
+	bad := s.Failed
+	for _, c := range s.Policies {
+		bad += c.Unsound
+	}
+	if bad > 0 {
+		fmt.Fprintf(os.Stderr, "ndalint: fuzz sweep over %d programs: %d failed, soundness violations present\n",
+			s.Programs, s.Failed)
+		for _, f := range s.Failures {
+			fmt.Fprintln(os.Stderr, "  "+f)
+		}
+		os.Exit(analysis.ExitFindings)
+	}
+	if !jsonOut {
+		fmt.Printf("ndalint: fuzz sweep clean — %d programs, zero soundness violations\n", s.Programs)
+	}
+}
+
+// toolErr reports a tool failure — as opposed to a finding — and exits
+// with the shared tool-error code.
+func toolErr(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndalint:", err)
+		os.Exit(analysis.ExitToolError)
+	}
+}

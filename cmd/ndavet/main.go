@@ -1,4 +1,4 @@
-// Command ndavet runs the repo's source-level static analyzer: four
+// Command ndavet runs the repo's source-level static analyzer: five
 // passes over the whole module proving the determinism and layering
 // invariants the golden sweep tests check at runtime.
 //
@@ -9,10 +9,15 @@
 //	ndavet -C dir        # analyze the module containing dir (default ".")
 //
 // Passes: detlint (map-iteration order into ordering-sensitive sinks;
-// wall-clock and global-randomness reads), layerlint (the declared import
-// DAG), locklint (mutexes held across blocking calls in serve/dist/par),
-// globlint (mutable package-level state in deterministic packages).
-// Sanctioned exceptions carry //ndavet:allow <pass> <reason> annotations.
+// wall-clock and global-randomness reads), errlint (silently dropped
+// error returns in the service layer and the fuzz program generator),
+// layerlint (the declared import DAG), locklint (mutexes held across
+// blocking calls in serve/dist/par), globlint (mutable package-level
+// state in deterministic packages). Sanctioned exceptions carry
+// //ndavet:allow <pass> <reason> annotations.
+//
+// Exit codes follow the shared analysis convention: 0 clean, 1 when open
+// findings remain (also under -json), 2 when the tool itself fails.
 package main
 
 import (
@@ -22,7 +27,6 @@ import (
 	"strings"
 
 	"nda/internal/analysis"
-	"nda/internal/cliutil"
 )
 
 func main() {
@@ -49,13 +53,13 @@ func main() {
 	}
 
 	mod, err := analysis.Load(*dir)
-	checkErr(err)
+	toolErr(err)
 	report, err := analysis.RunAll(mod, cfg)
-	checkErr(err)
+	toolErr(err)
 
 	if *jsonOut {
 		out, err := report.JSON()
-		checkErr(err)
+		toolErr(err)
 		os.Stdout.Write(out)
 	} else {
 		fmt.Print(report.Text())
@@ -66,11 +70,17 @@ func main() {
 	if len(open) > 0 {
 		fmt.Fprintf(os.Stderr, "ndavet: %d findings (%d allowed by annotation) over %d packages\n",
 			len(open), allowed, len(mod.Pkgs))
-		os.Exit(1)
-	}
-	if !*jsonOut {
+	} else if !*jsonOut {
 		fmt.Printf("ndavet: clean — %d packages, %d sanctioned exceptions\n", len(mod.Pkgs), allowed)
 	}
+	os.Exit(report.ExitCode())
 }
 
-func checkErr(err error) { cliutil.Check("ndavet", err) }
+// toolErr reports a tool failure — as opposed to a finding — and exits
+// with the shared tool-error code.
+func toolErr(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "ndavet:", err)
+		os.Exit(analysis.ExitToolError)
+	}
+}

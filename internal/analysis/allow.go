@@ -12,7 +12,7 @@ import (
 //	//ndavet:allow <pass> <reason>
 //
 // placed on the flagged line or on its own line immediately above it. The
-// pass name must be one of the four passes, and the reason is mandatory —
+// pass name must be one of the registered passes, and the reason is mandatory —
 // every sanctioned exception documents itself in-source. An annotation
 // that grants nothing is itself a finding ("allow" pass), so stale
 // exceptions cannot linger after the code they excused is fixed.

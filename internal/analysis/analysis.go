@@ -6,8 +6,8 @@ import (
 	"go/types"
 )
 
-// PassNames lists the four ndavet passes in census order.
-var PassNames = []string{"detlint", "globlint", "layerlint", "locklint"}
+// PassNames lists the five ndavet passes in census order.
+var PassNames = []string{"detlint", "errlint", "globlint", "layerlint", "locklint"}
 
 // Config selects what a run checks.
 type Config struct {
@@ -49,6 +49,9 @@ func RunAll(m *Module, cfg Config) (*Report, error) {
 	var findings []Finding
 	if selected["detlint"] {
 		findings = append(findings, runDetlint(m)...)
+	}
+	if selected["errlint"] {
+		findings = append(findings, runErrlint(m, idx)...)
 	}
 	if selected["globlint"] {
 		findings = append(findings, runGloblint(m, idx)...)

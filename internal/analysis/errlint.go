@@ -1,0 +1,130 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// errlint flags silently dropped error returns: a call whose (possibly
+// tuple-trailing) result type is error, used as a bare expression
+// statement or discarded behind defer/go. In the service layer a dropped
+// error turns a failed send or a half-written response into silent data
+// loss; in the program generator it turns an assembly failure into a
+// nil-program crash far from the cause. Writing `_ = f()` stays legal —
+// the blank assignment is a visible, greppable acknowledgment — and
+// sanctioned drops carry //ndavet:allow errlint annotations.
+//
+// The pass runs over Service-class packages and the fuzz program
+// generator (path suffix "/progen"), not module-wide: the deterministic
+// core returns errors it always consumes, and gofmt-style blanket
+// enforcement elsewhere would bury the signal in test scaffolding.
+//
+// Exemptions: methods on *strings.Builder, *bytes.Buffer, and hash.Hash
+// (their Write* methods are documented to always return a nil error), and
+// the fmt.Fprint family when the destination argument is statically one
+// of those types, for the same reason.
+func runErrlint(m *Module, idx map[string]*Rule) []Finding {
+	var out []Finding
+	for _, p := range m.Pkgs {
+		if classOf(idx, p.Path) != Service && !hasSuffix(p.Path, "/progen") {
+			continue
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := unparen(s.X).(*ast.CallExpr); ok {
+						out = append(out, errlintCall(m, p, call, "")...)
+					}
+				case *ast.DeferStmt:
+					out = append(out, errlintCall(m, p, s.Call, "defer ")...)
+				case *ast.GoStmt:
+					out = append(out, errlintCall(m, p, s.Call, "go ")...)
+				}
+				return true
+			})
+		}
+	}
+	return out
+}
+
+func hasSuffix(s, suf string) bool {
+	return len(s) >= len(suf) && s[len(s)-len(suf):] == suf
+}
+
+// errlintCall reports the call if it returns a dropped error and is not
+// exempt.
+func errlintCall(m *Module, p *Pkg, call *ast.CallExpr, ctx string) []Finding {
+	if !returnsError(p.Info, call) || exemptWriter(p.Info, call) {
+		return nil
+	}
+	return []Finding{m.finding("errlint", call,
+		ctx+"call drops its error return; handle it or assign to _ explicitly")}
+}
+
+// returnsError reports whether the call's result is an error or a tuple
+// whose last element is an error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return isErrorType(t)
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() == nil && obj.Name() == "error"
+}
+
+// exemptWriter recognizes the never-fails writers: a method call whose
+// receiver is *strings.Builder or *bytes.Buffer, or an fmt.Fprint-family
+// call whose writer argument is one of those.
+func exemptWriter(info *types.Info, call *ast.CallExpr) bool {
+	obj, recv := calleeOf(info, call)
+	if recv != nil && isNeverFailsBuffer(info.TypeOf(recv)) {
+		return true
+	}
+	if pkgPathOf(obj) == "fmt" && orderedPrintFns[obj.Name()] && len(call.Args) > 0 {
+		if obj.Name()[0] == 'F' && isNeverFailsBuffer(info.TypeOf(call.Args[0])) {
+			return true
+		}
+	}
+	return false
+}
+
+// isNeverFailsBuffer matches *strings.Builder, *bytes.Buffer (and the
+// bare value types, which cannot satisfy io.Writer but can still receive
+// method calls through addressable receivers), and the hash.Hash
+// interface — all three document that Write never returns an error.
+func isNeverFailsBuffer(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj == nil || obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "strings.Builder", "bytes.Buffer", "hash.Hash":
+		return true
+	}
+	return false
+}

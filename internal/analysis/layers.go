@@ -84,12 +84,17 @@ var DefaultContract = []Rule{
 	{Path: "nda/internal/trace", Class: Deterministic, Allow: []string{"nda/internal/ooo"}},
 
 	// Evaluation drivers.
+	{Path: "nda/internal/progen", Class: Deterministic, Allow: []string{
+		"nda/internal/asm", "nda/internal/isa"}},
 	{Path: "nda/internal/attack", Class: Deterministic, Allow: []string{
 		"nda/internal/asm", "nda/internal/core", "nda/internal/inorder", "nda/internal/isa",
 		"nda/internal/ooo", "nda/internal/par"}},
 	{Path: "nda/internal/gadget", Class: Deterministic, Allow: []string{
 		"nda/internal/analysis", "nda/internal/attack", "nda/internal/core", "nda/internal/isa",
 		"nda/internal/par", "nda/internal/workload"}},
+	{Path: "nda/internal/diffuzz", Class: Deterministic, Allow: []string{
+		"nda/internal/core", "nda/internal/emu", "nda/internal/gadget", "nda/internal/isa",
+		"nda/internal/mem", "nda/internal/ooo", "nda/internal/par", "nda/internal/progen"}},
 	{Path: "nda/internal/harness", Class: Deterministic, Allow: []string{
 		"nda/internal/asm", "nda/internal/cache", "nda/internal/checkpoint", "nda/internal/core",
 		"nda/internal/inorder", "nda/internal/isa", "nda/internal/ooo", "nda/internal/par",
@@ -120,9 +125,8 @@ var DefaultContract = []Rule{
 		"nda/internal/attack", "nda/internal/cliutil", "nda/internal/core", "nda/internal/harness",
 		"nda/internal/ooo"}},
 	{Path: "nda/cmd/ndalint", Class: CLI, Allow: []string{
-		"nda/internal/analysis", "nda/internal/cliutil", "nda/internal/gadget"}},
-	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{
-		"nda/internal/analysis", "nda/internal/cliutil"}},
+		"nda/internal/analysis", "nda/internal/diffuzz", "nda/internal/gadget"}},
+	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{"nda/internal/analysis"}},
 	{Path: "nda/cmd/ndaserve", Class: CLI, Allow: []string{
 		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve"}},
 	{Path: "nda/cmd/benchjson", Class: CLI},

@@ -52,6 +52,26 @@ func (f *Finding) String() string {
 	return s
 }
 
+// Exit codes shared by the analysis CLIs (ndalint, ndavet): clean runs
+// exit ExitClean, runs that complete but surface open findings exit
+// ExitFindings — including under -json — and tool failures (bad flags,
+// unloadable modules, broken builtins) exit ExitToolError, so CI can tell
+// "the tree is dirty" from "the analyzer broke".
+const (
+	ExitClean     = 0
+	ExitFindings  = 1
+	ExitToolError = 2
+)
+
+// ExitCode maps a report onto the shared convention: ExitFindings when
+// any finding is open, ExitClean otherwise.
+func (r *Report) ExitCode() int {
+	if len(r.Open()) > 0 {
+		return ExitFindings
+	}
+	return ExitClean
+}
+
 // Report is a tool run's full finding set plus its census.
 type Report struct {
 	Tool     string    `json:"tool"`

@@ -1,0 +1,39 @@
+package analysis
+
+import "testing"
+
+// The CLIs share one exit convention; ExitCode is the single place that
+// maps a report onto it.
+func TestReportExitCode(t *testing.T) {
+	cases := []struct {
+		name     string
+		findings []Finding
+		want     int
+	}{
+		{"empty", nil, ExitClean},
+		{"open finding", []Finding{
+			{File: "a.go", Tool: "ndavet", Pass: "detlint", Message: "x"},
+		}, ExitFindings},
+		{"allowed only", []Finding{
+			{File: "a.go", Tool: "ndavet", Pass: "detlint", Message: "x", Allowed: true, Reason: "ok"},
+		}, ExitClean},
+		{"allowed plus open", []Finding{
+			{File: "a.go", Tool: "ndavet", Pass: "detlint", Message: "x", Allowed: true, Reason: "ok"},
+			{File: "b.go", Tool: "ndavet", Pass: "errlint", Message: "y"},
+		}, ExitFindings},
+	}
+	for _, c := range cases {
+		r := NewReport("ndavet", c.findings)
+		if got := r.ExitCode(); got != c.want {
+			t.Errorf("%s: ExitCode() = %d, want %d", c.name, got, c.want)
+		}
+	}
+}
+
+// The three codes are an external contract (CI scripts match on them);
+// pin the values.
+func TestExitCodeValues(t *testing.T) {
+	if ExitClean != 0 || ExitFindings != 1 || ExitToolError != 2 {
+		t.Fatalf("exit codes moved: clean=%d findings=%d toolerror=%d", ExitClean, ExitFindings, ExitToolError)
+	}
+}

@@ -1,0 +1,17 @@
+// Package progen is the corpus stand-in for the fuzz program generator:
+// errlint covers it by path suffix even though its class is deterministic,
+// because a dropped assembly error there becomes a nil-program crash far
+// from the cause.
+package progen
+
+func build() error { return nil }
+
+// Emit discards the build error.
+func Emit() {
+	build() // want "call drops its error return"
+}
+
+// EmitChecked consumes it: clean.
+func EmitChecked() error {
+	return build()
+}

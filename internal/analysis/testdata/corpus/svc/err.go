@@ -1,0 +1,62 @@
+// The errlint cases: dropped error returns in a service-class package.
+package svc
+
+import (
+	"crypto/sha256"
+	"fmt"
+	"strings"
+)
+
+func fail() error { return nil }
+
+func failPair() (int, error) { return 0, nil }
+
+func noError() int { return 0 }
+
+// DropsBare discards the error of a bare call statement.
+func DropsBare() {
+	fail() // want "call drops its error return"
+}
+
+// DropsPair discards a trailing error behind two results.
+func DropsPair() {
+	failPair() // want "call drops its error return"
+}
+
+// DropsDeferred hides the drop behind defer.
+func DropsDeferred() {
+	defer fail() // want "defer call drops its error return"
+}
+
+// DropsInGoroutine hides the drop behind go.
+func DropsInGoroutine() {
+	go fail() // want "go call drops its error return"
+}
+
+// BlankIsVisible acknowledges the drop explicitly: clean.
+func BlankIsVisible() {
+	_ = fail()
+	_, _ = failPair()
+}
+
+// NoErrorIsClean calls something with no error to drop: clean.
+func NoErrorIsClean() {
+	noError()
+}
+
+// NeverFailsWriters exercises the documented-nil-error exemptions: the
+// strings.Builder methods, fmt.Fprint aimed at one, and hash.Hash writes.
+func NeverFailsWriters() string {
+	var b strings.Builder
+	b.WriteString("x")
+	fmt.Fprintf(&b, "%d", 1)
+	h := sha256.New()
+	h.Write([]byte(b.String()))
+	return fmt.Sprintf("%x", h.Sum(nil))
+}
+
+// AllowedDrop is the sanctioned errlint exception, annotated in-source.
+func AllowedDrop() {
+	//ndavet:allow errlint corpus example of a fire-and-forget notification
+	fail()
+}

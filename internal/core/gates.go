@@ -1,0 +1,139 @@
+package core
+
+// The declarative propagation-gating spec.
+//
+// NDA's mechanism (§5) and both comparison schemes reduce to the same shape:
+// a policy blocks certain dataflow edges of a speculative dependence chain
+// until a resolution event fires. A Gate names one such rule — which edge
+// class it cuts, over which chains it applies, and which pipeline event
+// releases it. Policy.Gates derives the rule set from the policy's knobs, so
+// the static gadget analyzer (internal/gadget) interprets the same spec the
+// simulator enforces instead of carrying a hand-written verdict table per
+// policy. A future policy added to this package gets static verdicts for
+// free: give it knobs (or extend Gates), and the engine derives the rest.
+
+// EdgeKind names a class of dataflow edge in an access→transmit chain.
+type EdgeKind uint8
+
+const (
+	// EdgeLoadUse is the wakeup edge from a load-class producer (loads and
+	// RDMSR) to any dependent. Chains whose every producer is a non-load
+	// (plain ALU flow from an architectural register) have no such edge.
+	EdgeLoadUse EdgeKind = iota
+	// EdgeAnyUse is the wakeup edge from any unsafe producer to a
+	// dependent. Chains where the transmitter consumes the tainted value
+	// directly from an architectural register (no intermediate producer)
+	// have no such edge.
+	EdgeAnyUse
+	// EdgeFill is the cache-visibility edge of a d-cache transmitter: the
+	// line install that makes the access observable to a later timing
+	// probe. Non-d-cache transmitters (BTB updates, branch-direction
+	// advisories) have no fill edge.
+	EdgeFill
+)
+
+// GateScope restricts which speculative chains a gate covers.
+type GateScope uint8
+
+const (
+	// ScopeUnderGuard covers edges shadowed by an unresolved control or
+	// address guard (a predicted branch or an unretired store address).
+	ScopeUnderGuard GateScope = iota
+	// ScopeBypassingLoad covers chains sourced at a load that bypassed an
+	// older store with an unresolved address.
+	ScopeBypassingLoad
+	// ScopeAlways covers every in-flight speculative chain.
+	ScopeAlways
+)
+
+// ReleaseEvent is the pipeline event that lifts a gate, allowing the gated
+// edge to fire.
+type ReleaseEvent uint8
+
+const (
+	// ReleaseGuardsResolve lifts when every guard shadowing the producer
+	// has resolved.
+	ReleaseGuardsResolve ReleaseEvent = iota
+	// ReleaseStoreAddrsResolve lifts when every older store address is
+	// known.
+	ReleaseStoreAddrsResolve
+	// ReleaseEldest lifts when the producer is the eldest unretired
+	// instruction.
+	ReleaseEldest
+	// ReleaseRetire lifts only at retirement.
+	ReleaseRetire
+)
+
+// Gate is one edge-gating rule: edges of kind Edge, on chains within Scope,
+// do not fire until Until.
+type Gate struct {
+	Edge  EdgeKind
+	Scope GateScope
+	Until ReleaseEvent
+}
+
+// Gates derives the policy's edge-gating rules from its knobs. The order is
+// significant only for reporting: the first applicable gate names the reason
+// a chain is blocked, and the order here mirrors the precedence of the
+// paper's prose (propagation restrictions, then bypass, then load
+// restriction, then load visibility).
+func (p Policy) Gates() []Gate {
+	var gs []Gate
+	if p.PropagationRestricted {
+		gs = append(gs, Gate{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve})
+		if p.RestrictAll {
+			gs = append(gs, Gate{EdgeAnyUse, ScopeUnderGuard, ReleaseGuardsResolve})
+		}
+	}
+	if p.BypassRestriction {
+		gs = append(gs, Gate{EdgeLoadUse, ScopeBypassingLoad, ReleaseStoreAddrsResolve})
+	}
+	if p.LoadRestriction {
+		gs = append(gs, Gate{EdgeLoadUse, ScopeAlways, ReleaseEldest})
+	}
+	switch p.LoadVisibility {
+	case InvisibleUntilResolved:
+		gs = append(gs, Gate{EdgeFill, ScopeUnderGuard, ReleaseGuardsResolve})
+	case InvisibleUntilRetire:
+		gs = append(gs, Gate{EdgeFill, ScopeAlways, ReleaseRetire})
+	}
+	return gs
+}
+
+func (k EdgeKind) String() string {
+	switch k {
+	case EdgeLoadUse:
+		return "load→use"
+	case EdgeAnyUse:
+		return "any→use"
+	case EdgeFill:
+		return "fill"
+	}
+	return "edge?"
+}
+
+func (s GateScope) String() string {
+	switch s {
+	case ScopeUnderGuard:
+		return "under-guard"
+	case ScopeBypassingLoad:
+		return "bypassing-load"
+	case ScopeAlways:
+		return "always"
+	}
+	return "scope?"
+}
+
+func (e ReleaseEvent) String() string {
+	switch e {
+	case ReleaseGuardsResolve:
+		return "guards-resolve"
+	case ReleaseStoreAddrsResolve:
+		return "store-addrs-resolve"
+	case ReleaseEldest:
+		return "eldest"
+	case ReleaseRetire:
+		return "retire"
+	}
+	return "event?"
+}

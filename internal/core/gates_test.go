@@ -1,0 +1,61 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The gate sets are the policies' semantic contract with the static
+// analyzer; pin them exactly so a knob edit shows up here before it shows up
+// as a census drift.
+func TestGatesPerPolicy(t *testing.T) {
+	want := map[string][]Gate{
+		"OoO":        nil,
+		"Permissive": {{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve}},
+		"Permissive+BR": {
+			{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeLoadUse, ScopeBypassingLoad, ReleaseStoreAddrsResolve},
+		},
+		"Strict": {
+			{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeAnyUse, ScopeUnderGuard, ReleaseGuardsResolve},
+		},
+		"Strict+BR": {
+			{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeAnyUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeLoadUse, ScopeBypassingLoad, ReleaseStoreAddrsResolve},
+		},
+		"RestrictedLoads": {{EdgeLoadUse, ScopeAlways, ReleaseEldest}},
+		"FullProtection": {
+			{EdgeLoadUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeAnyUse, ScopeUnderGuard, ReleaseGuardsResolve},
+			{EdgeLoadUse, ScopeBypassingLoad, ReleaseStoreAddrsResolve},
+			{EdgeLoadUse, ScopeAlways, ReleaseEldest},
+		},
+		"InvisiSpec-Spectre": {{EdgeFill, ScopeUnderGuard, ReleaseGuardsResolve}},
+		"InvisiSpec-Future":  {{EdgeFill, ScopeAlways, ReleaseRetire}},
+	}
+	for _, p := range All() {
+		w, ok := want[p.Name]
+		if !ok {
+			t.Errorf("%s: new policy with no pinned gate set — add it here and to the fuzz census", p.Name)
+			continue
+		}
+		if got := p.Gates(); !reflect.DeepEqual(got, w) {
+			t.Errorf("%s: Gates() = %v, want %v", p.Name, got, w)
+		}
+	}
+	if len(want) != len(All()) {
+		t.Fatalf("pinned %d gate sets for %d policies", len(want), len(All()))
+	}
+}
+
+// An insecure baseline must gate nothing; every secure policy must gate
+// something. The verdict engine leans on this: no gates ⇒ every chain fires.
+func TestGatesSecureIffNonEmpty(t *testing.T) {
+	for _, p := range All() {
+		if got := len(p.Gates()) > 0; got != p.Secure() {
+			t.Errorf("%s: len(Gates())>0 = %v, Secure() = %v", p.Name, got, p.Secure())
+		}
+	}
+}

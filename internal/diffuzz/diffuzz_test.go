@@ -1,0 +1,116 @@
+package diffuzz
+
+import (
+	"reflect"
+	"testing"
+
+	"nda/internal/progen"
+)
+
+// fuzzSeedCount is the tier-1 sweep size; -short trims it for quick edits.
+func fuzzSeedCount(t *testing.T) int {
+	if testing.Short() {
+		return 250
+	}
+	return 2500
+}
+
+// TestDifferentialSoundness is the tentpole cross-validation: over the full
+// sweep, no program the analyzer certifies SAFE under any policy may show a
+// secret-dependent channel trace, no program may be architecturally
+// secret-dependent, and the pipeline sanitizer must stay silent. The
+// efficacy checks below it make the sweep falsifiable: every gadget kind
+// must both appear and actually leak dynamically on the insecure baseline,
+// so a generator regression cannot hollow out the soundness claim.
+func TestDifferentialSoundness(t *testing.T) {
+	s := Fuzz(Seeds(1, fuzzSeedCount(t)), 0)
+	if s.Failed > 0 {
+		t.Fatalf("%d/%d programs failed:\n%s", s.Failed, s.Programs, s)
+	}
+	for _, c := range s.Policies {
+		if c.Unsound != 0 {
+			t.Errorf("%s: %d soundness violations", c.Policy, c.Unsound)
+		}
+	}
+
+	for _, k := range progen.GadgetKinds {
+		if s.KindTotal[k] == 0 {
+			t.Errorf("gadget kind %s never generated", k)
+		} else if s.KindLeakOoO[k] == 0 {
+			t.Errorf("gadget kind %s: %d programs, none leak under OoO — generator lost its teeth",
+				k, s.KindTotal[k])
+		}
+	}
+	for _, k := range progen.SafeKinds {
+		if s.KindTotal[k] == 0 {
+			t.Errorf("safe kind %s never generated", k)
+		}
+	}
+
+	// The sweep must exercise both sides of every verdict: programs the
+	// analyzer certifies safe AND programs it flags, under the extreme
+	// policies at least.
+	for _, c := range s.Policies {
+		switch c.Policy {
+		case "OoO":
+			if c.StaticSafe == 0 || c.TruePositive == 0 {
+				t.Errorf("OoO census degenerate: %+v", c)
+			}
+		case "FullProtection", "RestrictedLoads":
+			// Everything the generator emits is load-carried, so the
+			// load-restriction policies must block all of it.
+			if c.DynamicLeak != 0 {
+				t.Errorf("%s: %d dynamic leaks, want 0", c.Policy, c.DynamicLeak)
+			}
+		case "InvisiSpec-Future":
+			// The d-cache is invisible until retirement but the BTB is
+			// not: steering-BTB programs must still get through.
+			if c.DynamicLeak == 0 {
+				t.Errorf("InvisiSpec-Future: no dynamic leaks; BTB channel lost")
+			}
+		}
+	}
+}
+
+// A single-fragment chosen-memory program is the historical blind spot:
+// the secret is laundered through a store-to-load pair outside any branch
+// guard, so only the memory taint cell connects source to transmitter.
+// Pin that at least one such program exists in the sweep range and that
+// the analyzer flags it while the dynamic run confirms the leak.
+func TestChosenMemoryBlindSpotCovered(t *testing.T) {
+	found := false
+	for seed := int64(1); seed < 3000 && !found; seed++ {
+		p, err := progen.Gen(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(p.Frags) != 1 || p.Frags[0] != progen.FragChosenMemory {
+			continue
+		}
+		found = true
+		r := RunSeed(seed)
+		if r.Failure != "" {
+			t.Fatalf("seed %d: %s", seed, r.Failure)
+		}
+		pr := r.PerPolicy["OoO"]
+		if pr.StaticSafe {
+			t.Errorf("seed %d: chosen-memory program certified safe under OoO — memory taint lost", seed)
+		}
+		if !pr.DynamicLeak {
+			t.Errorf("seed %d: chosen-memory program does not leak dynamically under OoO", seed)
+		}
+	}
+	if !found {
+		t.Skip("no single-fragment chosen-memory program in range")
+	}
+}
+
+// Aggregation must be bit-identical for any worker count (the par contract).
+func TestFuzzWorkerCountInvariant(t *testing.T) {
+	seeds := Seeds(100, 40)
+	a := Fuzz(seeds, 1)
+	b := Fuzz(seeds, 4)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("summaries differ across worker counts:\n1: %s\n4: %s", a, b)
+	}
+}

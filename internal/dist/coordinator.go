@@ -250,6 +250,7 @@ func (c *Coordinator) post(ctx context.Context, w *worker, path string, body []b
 		w.noteFailure(c.opts.EvictAfter)
 		return nil, fmt.Errorf("dist: %s%s: %w", w.url, path, err)
 	}
+	//ndavet:allow errlint close of a fully read response body has nothing left to report
 	defer resp.Body.Close()
 	out, err := io.ReadAll(io.LimitReader(resp.Body, maxCellResponse))
 	if err != nil {
@@ -320,8 +321,8 @@ func (c *Coordinator) probe(w *worker) {
 		w.noteFailure(c.opts.EvictAfter)
 		return
 	}
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
-	resp.Body.Close()
+	_, _ = io.Copy(io.Discard, io.LimitReader(resp.Body, 1024))
+	_ = resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
 		w.noteFailure(c.opts.EvictAfter)
 		return

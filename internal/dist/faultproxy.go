@@ -143,6 +143,7 @@ func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadGateway)
 		return
 	}
+	//ndavet:allow errlint close of a fully proxied response body has nothing left to report
 	defer resp.Body.Close()
 	for k, vs := range resp.Header {
 		for _, v := range vs {
@@ -150,5 +151,7 @@ func (p *FaultProxy) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	// A copy error here means the client hung up mid-stream; the status
+	// line is already on the wire, so there is no one left to tell.
+	_, _ = io.Copy(w, resp.Body)
 }

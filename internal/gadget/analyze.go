@@ -470,6 +470,14 @@ func repLess(x, y rep) bool {
 
 type flavors map[flavorKey]rep
 
+// memCell is the pseudo-register modeling memory taint through store-to-load
+// forwarding. One conservative cell stands for all of memory: a store of
+// tainted data joins its flavors (chain extended by the store) into the
+// cell, and every later in-region load reads them back (chain extended by
+// the load). No address discrimination is attempted — any tainted store may
+// feed any later load — which can only add gadgets, never hide one.
+const memCell = isa.Reg(isa.NumGPR)
+
 type regState map[isa.Reg]flavors
 
 func sortedKeys(m flavors) []flavorKey {
@@ -519,6 +527,33 @@ func joinInto(dst, src regState) bool {
 // mis-steered path, any reachable load can read an attacker-chosen address.
 func (a *analyzer) transfer(in regState, i int, guardMode bool) regState {
 	inst := a.insts[i]
+	if inst.IsStore() {
+		fl := in[inst.Rs2]
+		if len(fl) == 0 {
+			return in
+		}
+		// Tainted store data flows into the memory cell. The flavor is
+		// normalized to its seed kind: once laundered through memory the
+		// chain necessarily contains a producer (the store) and, on read-
+		// back, a load.
+		out := make(regState, len(in)+1)
+		for r, f := range in {
+			out[r] = f
+		}
+		d := make(flavors, len(in[memCell])+1)
+		for k, rp := range in[memCell] {
+			d[k] = rp
+		}
+		for _, k := range sortedKeys(fl) {
+			nk := flavorKey{gpr: k.gpr}
+			rp := extendChain(fl[k], i)
+			if old, ok := d[nk]; !ok || repLess(rp, old) {
+				d[nk] = rp
+			}
+		}
+		out[memCell] = d
+		return out
+	}
 	rd, writes := inst.WritesReg()
 	if !writes {
 		return in
@@ -546,6 +581,12 @@ func (a *analyzer) transfer(in regState, i int, guardMode bool) regState {
 		fl := in[inst.Rs1]
 		for _, k := range sortedKeys(fl) {
 			add(flavorKey{gpr: k.gpr}, extendChain(fl[k], i))
+		}
+		// Store-to-load forwarding: the load may read back any tainted
+		// value a prior in-region store put in memory.
+		mfl := in[memCell]
+		for _, k := range sortedKeys(mfl) {
+			add(flavorKey{gpr: k.gpr}, extendChain(mfl[k], i))
 		}
 		if guardMode {
 			add(flavorKey{}, rep{srcIdx: i, chain: []int{i}})

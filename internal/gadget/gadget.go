@@ -16,11 +16,19 @@
 //   - bypass (§4.1): a load issues past an older store whose address is not
 //     yet computed and transiently reads stale data (Spectre v4 / SSB).
 //
-// Each gadget carries a per-policy Verdict: whether the NDA propagation
-// policy (or InvisiSpec comparator) from internal/core provably cuts the
-// chain, with the reason. The verdict table is the static mirror of
-// core.Policy.Unsafe and is cross-validated against the dynamic attack
-// matrix and the runtime propagation sanitizer (internal/ooo) in tests.
+// Each gadget carries a per-policy Verdict derived by the semantic verdict
+// engine (engine.go): every core.Policy exposes its propagation-gating
+// rules as a declarative spec — []core.Gate, naming which dataflow edge
+// class the policy cuts (load→use wakeups, any-producer wakeups, d-cache
+// fills), over which chains (under a guard, bypassing a store, always), and
+// until which release event (guards resolve, store addresses resolve,
+// eldest, retire) — and the engine interprets that spec over the gadget's
+// chain: the chain is blocked iff some applicable gate provably holds past
+// the event that squashes the transient path. No per-policy verdict code
+// exists here, so a policy added to internal/core gets static verdicts for
+// free, and the spec is cross-validated against the dynamic attack matrix,
+// the runtime propagation sanitizer, and the differential fuzzing harness
+// (internal/diffuzz) in tests.
 //
 // Scope and soundness notes, matching what the simulator can measure:
 //
@@ -28,9 +36,12 @@
 //     jumps), the two channels the attack harness's recover phases read.
 //     Secret-dependent conditional branches are detected but reported as
 //     advisory (Channel "branch") and excluded from program verdicts.
-//   - Stores do not transmit: the simulated d-cache installs store data at
-//     retirement, so wrong-path stores leave no trace. Memory taint through
-//     store-to-load forwarding is likewise out of scope.
+//   - Wrong-path stores do not transmit directly: the simulated d-cache
+//     installs store data at retirement. But store DATA does propagate:
+//     the dataflow tracks memory taint through store-to-load forwarding
+//     with a single conservative memory cell (any tainted store may feed
+//     any later in-region load), so a chain laundered through memory —
+//     store the secret, load it back, transmit — is still a gadget.
 //   - The transient window is bounded by Config.Window (default: the ROB
 //     size used by ooo.DefaultParams).
 package gadget
@@ -38,8 +49,6 @@ package gadget
 import (
 	"fmt"
 	"sort"
-
-	"nda/internal/core"
 )
 
 // Kind classifies a gadget by how the secret enters the transient chain.
@@ -122,70 +131,6 @@ type Analysis struct {
 	// PoC, so cross-validation compares against the matching entry. A
 	// channel with no gadgets has no entry (everything blocked).
 	LeaksByChannel map[string]map[string]bool `json:"leaks_by_channel,omitempty"`
-}
-
-// verdictFor statically mirrors core.Policy.Unsafe for one gadget: it asks
-// whether some link of the access→transmit chain provably cannot broadcast
-// (or, for InvisiSpec, whether the channel carries no signal) before the
-// transient window closes.
-func verdictFor(pol core.Policy, g *Gadget) Verdict {
-	if !pol.Secure() {
-		return Verdict{Reason: "baseline OoO: completed results broadcast immediately, so the whole chain runs transiently"}
-	}
-	switch g.Kind {
-	case KindSteering:
-		if pol.PropagationRestricted && !g.LoadFree {
-			return Verdict{Blocked: true, Reason: "a load in the chain executes under an unresolved guard; its tag broadcast is deferred until the guard resolves, and a mis-steered guard squashes first"}
-		}
-		if pol.PropagationRestricted && pol.RestrictAll && !g.DirectUse {
-			return Verdict{Blocked: true, Reason: "strict propagation defers every wrong-path producer, so the register-resident secret cannot be pre-processed for transmission before the squash"}
-		}
-		if pol.LoadRestriction && !g.LoadFree {
-			return Verdict{Blocked: true, Reason: "load restriction defers the access load's broadcast until it is eldest unretired; the older mis-steered guard resolves and squashes first"}
-		}
-		if g.Channel == ChannelDCache && pol.LoadVisibility != core.VisibleAlways {
-			return Verdict{Blocked: true, Reason: "speculative fills are invisible while the guard is unresolved, so the wrong-path access leaves no d-cache signal"}
-		}
-		switch {
-		case g.LoadFree && g.DirectUse:
-			return Verdict{Reason: "the transmitter reads the register-resident secret directly; there is no deferred producer between access and transmit"}
-		case g.LoadFree:
-			return Verdict{Reason: "the chain is load-free: only ALU producers process the register-resident secret, and this policy does not restrict them under a guard"}
-		case g.Channel == ChannelBTB:
-			return Verdict{Reason: "the BTB insertion happens at execute and is not hidden or deferred by this policy"}
-		default:
-			return Verdict{Reason: "the wrong-path load's result broadcasts before the guard resolves, waking the transmitter inside the transient window"}
-		}
-	case KindChosenCode:
-		if pol.LoadRestriction {
-			return Verdict{Blocked: true, Reason: "load restriction: the illegal access broadcasts only when eldest unretired, where its fault squashes the dependents instead"}
-		}
-		if g.Channel == ChannelDCache && pol.LoadVisibility == core.InvisibleUntilRetire {
-			return Verdict{Blocked: true, Reason: "fills are invisible until retirement and the faulting access never retires, so the transmitter leaves no d-cache signal"}
-		}
-		return Verdict{Reason: "no guard shadows the illegal access, so steering restrictions never engage and the faulting data broadcasts before the fault commits"}
-	case KindBypass:
-		if pol.BypassRestriction {
-			return Verdict{Blocked: true, Reason: "bypass restriction: the load bypassed a store with an unresolved address and defers broadcast until that address resolves, where the order violation squashes it"}
-		}
-		if pol.LoadRestriction {
-			return Verdict{Blocked: true, Reason: "load restriction: the bypassing load broadcasts only when eldest unretired, by which point the older store's address resolved and squashed it"}
-		}
-		if g.Channel == ChannelDCache && pol.LoadVisibility == core.InvisibleUntilRetire {
-			return Verdict{Blocked: true, Reason: "fills are invisible until retirement; the order-violation squash reaches the bypassing load first"}
-		}
-		return Verdict{Reason: "no branch guard shadows the bypass, so steering restrictions never engage and the stale value broadcasts before the store's address resolves"}
-	}
-	return Verdict{Reason: "unknown gadget kind"}
-}
-
-// fillVerdicts computes the per-policy verdict map for every configuration
-// in core.All.
-func fillVerdicts(g *Gadget) {
-	g.Verdicts = make(map[string]Verdict, 9)
-	for _, pol := range core.All() {
-		g.Verdicts[pol.Name] = verdictFor(pol, g)
-	}
 }
 
 // sortGadgets orders gadgets deterministically for reports and golden files.

@@ -1,0 +1,137 @@
+package gadget_test
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+
+	"nda/internal/asm"
+	"nda/internal/gadget"
+	"nda/internal/isa"
+)
+
+// steeringAt assembles a minimal steering gadget whose transmit sits at
+// fetch distance fillers+1 past the guard branch: the guard's fall-through
+// is `fillers` taint-preserving producers on the secret register followed
+// by a secret-addressed load.
+func steeringAt(t *testing.T, fillers int) *isa.Program {
+	t.Helper()
+	var b strings.Builder
+	b.WriteString(".text\nmain:\n\tbeq t0, zero, skip\n")
+	for i := 0; i < fillers; i++ {
+		b.WriteString("\taddi t1, t1, 0\n")
+	}
+	b.WriteString("\tlbu t2, 0(t1)\n\tfence\nskip:\n\thalt\n")
+	p, err := asm.Assemble(b.String())
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	return p
+}
+
+func analyzeWindow(t *testing.T, p *isa.Program, window int) *gadget.Analysis {
+	t.Helper()
+	return gadget.Analyze(p, gadget.Config{SecretRegs: []isa.Reg{isa.RegT1}, Window: window})
+}
+
+// TestWindowBoundary pins the inclusive boundary: an entry past the guard
+// has fetch distance 1, and the region contains exactly the instructions
+// with distance <= Window. A transmit exactly at the window edge is a
+// gadget; one instruction further is invisible.
+func TestWindowBoundary(t *testing.T) {
+	const w = 8
+	for _, c := range []struct {
+		fillers int
+		want    bool
+	}{
+		{w - 2, true},  // distance w-1: inside
+		{w - 1, true},  // distance w: exactly at the edge, still inside
+		{w, false},     // distance w+1: one past the edge
+		{w + 5, false}, // well past
+	} {
+		t.Run(fmt.Sprintf("fillers=%d", c.fillers), func(t *testing.T) {
+			an := analyzeWindow(t, steeringAt(t, c.fillers), w)
+			got := has(an, gadget.KindSteering, gadget.ChannelDCache)
+			if got != c.want {
+				t.Errorf("fillers=%d window=%d: steering d-cache gadget found=%v, want %v",
+					c.fillers, w, got, c.want)
+			}
+		})
+	}
+}
+
+// TestWindowDefaultApplies proves Window=0 means DefaultWindow, not zero:
+// a transmit just inside DefaultWindow is found, and the same analysis
+// with a 1-instruction window misses it.
+func TestWindowDefaultApplies(t *testing.T) {
+	p := steeringAt(t, gadget.DefaultWindow-2)
+	if !has(analyzeWindow(t, p, 0), gadget.KindSteering, gadget.ChannelDCache) {
+		t.Errorf("Window=0: transmit at distance %d not found under DefaultWindow=%d",
+			gadget.DefaultWindow-1, gadget.DefaultWindow)
+	}
+	if has(analyzeWindow(t, p, 1), gadget.KindSteering, gadget.ChannelDCache) {
+		t.Errorf("Window=1: transmit at distance %d should be out of reach", gadget.DefaultWindow-1)
+	}
+}
+
+// TestLoopRevisitsSteeringPoint makes the wrong path re-enter its own
+// guard: the back edge of a loop is a steering point whose taken path
+// walks the loop body — including the guard itself — again. Region
+// construction must terminate, keep minimum distances, and still reach
+// the transmit on the fall-through.
+func TestLoopRevisitsSteeringPoint(t *testing.T) {
+	src := `
+.text
+main:
+loop:
+	addi t2, t2, 1
+	bne t2, t0, loop
+	lbu t3, 0(t1)
+	fence
+	halt
+`
+	p, err := asm.Assemble(src)
+	if err != nil {
+		t.Fatalf("assemble: %v", err)
+	}
+	an := analyzeWindow(t, p, 6)
+	if !has(an, gadget.KindSteering, gadget.ChannelDCache) {
+		t.Fatalf("loop guard: no steering d-cache gadget found (gadgets: %d)", len(an.Gadgets))
+	}
+	// The transmit the analyzer reports must be the secret-addressed load,
+	// not something invented by the loop traversal.
+	for i := range an.Gadgets {
+		g := &an.Gadgets[i]
+		if g.Advisory || g.Kind != gadget.KindSteering || g.Channel != gadget.ChannelDCache {
+			continue
+		}
+		if !strings.HasPrefix(g.Transmit.Asm, "lbu") {
+			t.Errorf("steering transmit is %q at pc %#x, want the lbu", g.Transmit.Asm, g.Transmit.PC)
+		}
+	}
+}
+
+// TestFenceCutsChain places a fence between the steering point and the
+// transmit: speculative fetch cannot cross it, so the same program that
+// leaks without the fence must analyze clean with it.
+func TestFenceCutsChain(t *testing.T) {
+	build := func(fenced bool) *isa.Program {
+		fence := ""
+		if fenced {
+			fence = "\tfence\n"
+		}
+		src := ".text\nmain:\n\tbeq t0, zero, skip\n\taddi t1, t1, 0\n" +
+			fence + "\tlbu t2, 0(t1)\n\tfence\nskip:\n\thalt\n"
+		p, err := asm.Assemble(src)
+		if err != nil {
+			t.Fatalf("assemble: %v", err)
+		}
+		return p
+	}
+	if !has(analyzeWindow(t, build(false), 16), gadget.KindSteering, gadget.ChannelDCache) {
+		t.Fatal("control program without fence shows no gadget; the test is vacuous")
+	}
+	if has(analyzeWindow(t, build(true), 16), gadget.KindSteering, gadget.ChannelDCache) {
+		t.Error("fence between guard and transmit: steering gadget still reported")
+	}
+}

@@ -1,0 +1,36 @@
+package ooo
+
+// ChannelEventKind names one class of attacker-observable state mutation.
+type ChannelEventKind uint8
+
+const (
+	// ChanDCacheFill is a demand d-cache install: a visible load's access
+	// or a retiring store's fill.
+	ChanDCacheFill ChannelEventKind = iota
+	// ChanDCacheExpose is an InvisiSpec exposure: a formerly invisible
+	// load's line installed at its safe point.
+	ChanDCacheExpose
+	// ChanDCacheFlush is a clflush eviction.
+	ChanDCacheFlush
+	// ChanBTBUpdate is a BTB insertion (speculative at branch resolution,
+	// or architectural at an indirect jump's retirement).
+	ChanBTBUpdate
+)
+
+// ChannelEvent is one attacker-observable state mutation, delivered to
+// Core.TraceChannel in simulation order.
+type ChannelEvent struct {
+	Cycle uint64
+	Kind  ChannelEventKind
+	// Addr is the memory address for d-cache events and the branch PC for
+	// BTB updates.
+	Addr uint64
+	// Aux is the branch target for BTB updates; 0 otherwise.
+	Aux uint64
+}
+
+func (c *Core) traceChannel(k ChannelEventKind, addr, aux uint64) {
+	if c.TraceChannel != nil {
+		c.TraceChannel(ChannelEvent{Cycle: c.cycle, Kind: k, Addr: addr, Aux: aux})
+	}
+}

@@ -83,6 +83,16 @@ type Core struct {
 	// diagrams.
 	TraceRetire func(ev TraceEvent)
 
+	// TraceChannel, when non-nil, receives every attacker-observable
+	// microarchitectural state mutation: d-cache installs (demand fills
+	// and InvisiSpec exposures), flushes, and BTB updates. InvisiSpec's
+	// DataNoInstall accesses are deliberately absent — their whole point
+	// is to leave no measurable state. The differential fuzzing harness
+	// (internal/diffuzz) hashes this stream for two runs that differ only
+	// in planted secret bytes; a hash mismatch is a covert-channel
+	// transmission.
+	TraceChannel func(ev ChannelEvent)
+
 	retired      uint64
 	lastCommit   uint64 // cycle of the last commit (deadlock guard)
 	offChipLoads int    // currently outstanding DRAM loads

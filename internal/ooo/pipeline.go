@@ -146,6 +146,7 @@ func (c *Core) resolveBranch(e *Entry) {
 	}
 	if e.Inst.Op == isa.OpJalr && c.p.SpeculativeBTBUpdate {
 		c.btb.Update(e.PC, e.Target)
+		c.traceChannel(ChanBTBUpdate, e.PC, e.Target)
 	}
 
 	if !e.Predicted {
@@ -239,6 +240,7 @@ func (c *Core) recomputeSafety() {
 			e := c.robAt(i)
 			if e.Invisible && !e.Exposed && e.Node.Completed && !e.Node.UnderGuard {
 				c.hier.InstallData(e.Addr)
+				c.traceChannel(ChanDCacheExpose, e.Addr, 0)
 				e.Exposed = true
 				c.stats.Exposures++
 				c.progress = true
@@ -350,6 +352,25 @@ func (c *Core) commitInsts() (int, error) {
 		if !e.Node.Completed {
 			return committed, nil
 		}
+
+		// A completed faulting head delivers its fault now, before any
+		// wait for its own tag broadcast and before InvisiSpec exposure:
+		// the fault squashes the dependents instead of waking them, and a
+		// squashed invisible load is never exposed or validated. Waiting
+		// on an NDA-deferred broadcast first would invert that order —
+		// the eldest-unretired wake-up would land a cycle before the
+		// squash, giving a direct dependent of the faulting load one
+		// cycle to issue and fill the cache.
+		if e.Fault != isa.FaultNone {
+			if c.TraceCommit != nil {
+				c.TraceCommit(e.PC, e.Inst)
+			}
+			c.retired++
+			committed++
+			c.stats.Faults++
+			return committed, c.deliverFault(e)
+		}
+
 		if e.DestP != noPReg && !e.Node.Broadcast {
 			return committed, nil // waiting for a (possibly NDA-deferred) broadcast
 		}
@@ -364,6 +385,7 @@ func (c *Core) commitInsts() (int, error) {
 		// InvisiSpec exposure/validation at the retirement safe point.
 		if e.Invisible && !e.Exposed {
 			c.hier.InstallData(e.Addr)
+			c.traceChannel(ChanDCacheExpose, e.Addr, 0)
 			e.Exposed = true
 			c.stats.Exposures++
 			c.progress = true
@@ -373,16 +395,6 @@ func (c *Core) commitInsts() (int, error) {
 				c.stats.ValidationStall += lat
 				return committed, nil // retire after validation completes
 			}
-		}
-
-		if e.Fault != isa.FaultNone {
-			if c.TraceCommit != nil {
-				c.TraceCommit(e.PC, e.Inst)
-			}
-			c.retired++
-			committed++
-			c.stats.Faults++
-			return committed, c.deliverFault(e)
 		}
 
 		if err := c.retire(e); err != nil {
@@ -417,6 +429,7 @@ func (c *Core) retire(e *Entry) error {
 	case inst.IsStore():
 		c.mem.Write(e.Addr, inst.MemBytes(), c.readP(e.Src2P))
 		c.hier.Data(e.Addr) // timing side effect of the store's fill
+		c.traceChannel(ChanDCacheFill, e.Addr, 0)
 		if len(c.sq) > 0 && c.sq[0] == e.Slot {
 			c.sq = popFront(c.sq)
 		}
@@ -442,6 +455,7 @@ func (c *Core) retire(e *Entry) error {
 		c.noSpec = false
 	case inst.Op == isa.OpJalr && !c.p.SpeculativeBTBUpdate:
 		c.btb.Update(e.PC, e.Target)
+		c.traceChannel(ChanBTBUpdate, e.PC, e.Target)
 	case inst.Op == isa.OpInvalid:
 		return fmt.Errorf("ooo: committed invalid instruction at pc=%#x", e.PC)
 	case inst.Op == isa.OpHalt:
@@ -778,6 +792,7 @@ func (c *Core) execute(e *Entry) bool {
 	case inst.Op == isa.OpClflush:
 		e.Addr = c.readP(e.Src1P) + uint64(inst.Imm)
 		c.hier.Flush(e.Addr)
+		c.traceChannel(ChanDCacheFlush, e.Addr, 0)
 
 	case inst.Op == isa.OpFence, inst.Op == isa.OpNop, inst.Op == isa.OpHalt,
 		inst.Op == isa.OpSpecOff, inst.Op == isa.OpSpecOn:
@@ -861,6 +876,7 @@ func (c *Core) executeLoad(e *Entry) bool {
 			c.stats.InvisibleLoads++
 		} else {
 			res = c.hier.Data(e.Addr)
+			c.traceChannel(ChanDCacheFill, e.Addr, 0)
 		}
 		e.Result = truncate(c.mem.Read(e.Addr, size), size)
 		e.CompleteAt = c.cycle + uint64(c.p.AGULatency+res.Latency)

@@ -29,6 +29,12 @@ import "fmt"
 //     cycle has an in-flight older producer (for any of its source
 //     operands; store data is read at forwarding/commit time, not issue)
 //     whose tag has not been broadcast.
+//  4. forward-before-broadcast: no load that entered execution this cycle
+//     took its value from an in-flight store whose DATA producer has not
+//     broadcast. Store-to-load forwarding is the one dataflow edge that
+//     does not go through a register read at issue, so check 3 cannot see
+//     it; an unbroadcast value reaching a younger load through the store
+//     queue is exactly the memory-laundering propagation leak.
 
 // Violation is one sanitizer finding.
 type Violation struct {
@@ -63,8 +69,8 @@ func (c *Core) sanViolate(check string, pc, seq uint64, format string, args ...a
 	}
 }
 
-// checkInvariants runs the three checks over the ROB. Called at the end of
-// Step (both the halted early-exit and the normal path).
+// checkInvariants runs the checks over the ROB. Called at the end of Step
+// (both the halted early-exit and the normal path).
 func (c *Core) checkInvariants() {
 	if !c.p.Sanitize {
 		return
@@ -109,6 +115,28 @@ func (c *Core) checkInvariants() {
 		if !e.Inst.IsStore() {
 			c.sanCheckSource(e, e.Src2P)
 		}
+		if e.Inst.IsLoad() && e.ForwardSeq != 0 {
+			c.sanCheckForward(e)
+		}
+	}
+}
+
+// sanCheckForward applies check 4: the load e took its value from the store
+// with sequence number e.ForwardSeq this cycle; the store's data operand
+// must trace to a broadcast (or retired) producer.
+func (c *Core) sanCheckForward(e *Entry) {
+	for i := 0; i < c.robLen; i++ {
+		s := c.robAt(i)
+		if s.Seq != e.ForwardSeq {
+			continue
+		}
+		if src := s.Src2P; src != noPReg && c.sanWriterMark[src] == c.cycle &&
+			c.sanWriterSeq[src] < s.Seq && !c.sanWriterBcast[src] {
+			c.sanViolate("forward-before-broadcast", e.PC, e.Seq,
+				"%v forwarded from store seq %d whose data producer (seq %d, p%d) has not broadcast",
+				e.Inst, s.Seq, c.sanWriterSeq[src], src)
+		}
+		return
 	}
 }
 

@@ -98,9 +98,9 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		fmt.Fprint(w, m.Metrics().Render())
+		_, _ = fmt.Fprint(w, m.Metrics().Render())
 		if f := m.Fleet(); f != nil {
-			fmt.Fprint(w, f.RenderMetrics())
+			_, _ = fmt.Fprint(w, f.RenderMetrics())
 		}
 	})
 	return mux
@@ -155,7 +155,7 @@ func writeResult(w http.ResponseWriter, j *Job) {
 		res, _ := j.Result()
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(http.StatusOK)
-		w.Write(res)
+		_, _ = w.Write(res)
 	case JobFailed:
 		writeError(w, http.StatusInternalServerError, st.Error)
 	case JobCancelled:
@@ -173,12 +173,12 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	w.Write(buf)
-	w.Write([]byte("\n"))
+	_, _ = w.Write(buf)
+	_, _ = w.Write([]byte("\n"))
 }
 
 func writeError(w http.ResponseWriter, status int, msg string) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
-	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+	_ = json.NewEncoder(w).Encode(map[string]string{"error": msg})
 }
