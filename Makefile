@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke fuzz-smoke vet ndavet contract-check lint fmt fmt-check ci
+.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke store-smoke fuzz-smoke vet ndavet contract-check lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -59,6 +59,12 @@ serve-smoke:
 dist-smoke:
 	sh scripts/dist_smoke.sh
 
+## store-smoke: black-box check of the persistent result store — a 92-cell
+## sweep into -store-dir, SIGKILL, restart with -warm-from, and a
+## byte-identical zero-simulation replay
+store-smoke:
+	sh scripts/store_smoke.sh
+
 ## fuzz-smoke: differential soundness fuzzing on a pinned seed range — the
 ## gadget analyzer's SAFE verdicts cross-checked against dynamic simulation
 ## on generated programs; any static-SAFE/dynamic-leak disagreement fails
@@ -97,4 +103,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke fuzz-smoke
+ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke store-smoke fuzz-smoke

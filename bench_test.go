@@ -9,6 +9,7 @@ package nda
 // versions.
 
 import (
+	"context"
 	"testing"
 
 	"nda/internal/asm"
@@ -19,6 +20,8 @@ import (
 	"nda/internal/harness"
 	"nda/internal/inorder"
 	"nda/internal/ooo"
+	"nda/internal/serve"
+	"nda/internal/store"
 	"nda/internal/workload"
 )
 
@@ -210,6 +213,71 @@ func BenchmarkQuickSweep92(b *testing.B) {
 		_ = sw
 	}
 	b.ReportMetric(cells, "cells")
+}
+
+// --- persistent store: warm-restart latency ---
+
+// BenchmarkStoreWarmRestart measures restart-to-warm latency for a
+// store-backed ndaserve: each iteration re-opens the persistent store
+// (recovery scan included), boots a fresh manager with a cold RAM cache,
+// and replays a pre-populated 12-cell sweep entirely from the disk tier.
+// ns/op is the full restart-and-replay cost with zero simulations; the
+// BENCH_*.json trajectory pins it across PRs.
+func BenchmarkStoreWarmRestart(b *testing.B) {
+	dir := b.TempDir()
+	req := serve.SweepRequest{
+		Workloads: []string{"gcc", "mcf", "exchange2", "bwaves"},
+		Policies:  []string{"OoO", "Permissive"},
+		Sampling: serve.SamplingSpec{
+			Quick: true, WarmInsts: 2_000, MeasureInsts: 2_000, SkipInsts: 1_000, Intervals: 3,
+		},
+	}
+	const cells = 12 // 4 workloads x (2 policies + in-order)
+
+	restart := func() (*serve.Manager, *store.Store) {
+		st, err := store.Open(dir, store.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return serve.NewManager(serve.Config{QueueDepth: 4, JobWorkers: 1, Store: st}), st
+	}
+	sweep := func(m *serve.Manager) serve.Status {
+		j, err := m.SubmitSweep(req)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := j.Wait(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		return j.Status()
+	}
+	stop := func(m *serve.Manager, st *store.Store) {
+		if err := m.Shutdown(context.Background()); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+
+	// Populate the store once, outside the timed window (the "cold" boot).
+	m, st := restart()
+	if got := sweep(m); got.Tiers.Computed != cells {
+		b.Fatalf("cold populate tiers = %+v, want %d computed", got.Tiers, cells)
+	}
+	stop(m, st)
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m, st := restart()
+		if got := sweep(m); got.Tiers.Disk != cells || got.Tiers.Computed != 0 {
+			b.Fatalf("warm replay tiers = %+v, want %d disk", got.Tiers, cells)
+		}
+		b.StopTimer()
+		stop(m, st)
+		b.StartTimer()
+	}
+	b.ReportMetric(cells, "cells-replayed")
 }
 
 // --- substrate micro-benchmarks ---

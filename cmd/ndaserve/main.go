@@ -22,12 +22,25 @@
 //
 //	ndaserve -addr :8090 -workers http://sim1:8090,http://sim2:8090
 //
+// With -store-dir the result cache gains a persistent disk tier: every
+// completed cell is written durably (atomic temp-file + rename), so a
+// restarted — or kill -9'd — process serves earlier results from disk,
+// byte-identically and without re-simulation. -store-max-bytes bounds the
+// directory; least-recently-used cells are evicted beyond it. A
+// coordinator can additionally share a store across replicas with
+// -shared-store-dir: cells found there are never dispatched to a worker.
+// -warm-from submits a precompute job at boot ("standard" or a JSON file),
+// which replays straight from the store after a restart.
+//
+//	ndaserve -store-dir /var/lib/nda -warm-from standard
+//
 // On SIGINT/SIGTERM the server stops accepting work and drains: queued and
 // in-flight jobs finish (bounded by -drain-timeout, after which they are
 // cancelled), then the process exits.
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -38,6 +51,7 @@ import (
 	"nda/internal/cliutil"
 	"nda/internal/dist"
 	"nda/internal/serve"
+	"nda/internal/store"
 )
 
 func main() {
@@ -48,6 +62,12 @@ func main() {
 		simWorkers   = flag.Int("sim-workers", 0, "simulation goroutines per job (0 = one per CPU)")
 		cacheMax     = flag.Int("cache-max-entries", serve.DefaultCacheMaxEntries, "result-cache LRU capacity in entries; evictions show on /metrics")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for jobs to drain before cancelling them")
+
+		// Persistent store tiers.
+		storeDir      = flag.String("store-dir", "", "directory for the persistent result store (disk tier under the RAM cache); empty disables persistence")
+		storeMaxBytes = flag.Int64("store-max-bytes", store.DefaultMaxBytes, "byte budget for the persistent store; least-recently-used entries beyond it are evicted")
+		sharedDir     = flag.String("shared-store-dir", "", "coordinator mode: directory of the fleet-shared result store (reuses -store-dir's store when equal)")
+		warmFrom      = flag.String("warm-from", "", `submit a cache-warming job at boot: "standard" for the paper's figure set, or a path to a WarmRequest JSON file`)
 
 		// Coordinator mode.
 		workers      = flag.String("workers", "", "comma-separated worker ndaserve URLs; non-empty enables coordinator mode")
@@ -78,6 +98,37 @@ func main() {
 	urls, err := cliutil.WorkerURLs(*workers)
 	fatal(err)
 
+	// Open the persistent tiers before anything can enqueue work. The two
+	// flags may name the same directory — then one store instance serves
+	// as both the local disk tier and the fleet-shared tier (a single
+	// store must never be opened twice in one process).
+	var diskStore *store.Store
+	if *storeDir != "" {
+		if *storeMaxBytes < 1 {
+			fatal(fmt.Errorf("-store-max-bytes %d invalid: want a positive budget", *storeMaxBytes))
+		}
+		diskStore, err = store.Open(*storeDir, store.Options{MaxBytes: *storeMaxBytes})
+		fatal(err)
+		defer diskStore.Close()
+		c := diskStore.Counters()
+		fmt.Fprintf(os.Stderr, "ndaserve: store %s: %d entries, %d bytes (budget %d)\n", *storeDir, c.Entries, c.Bytes, c.MaxBytes)
+		if c.DroppedOnOpen > 0 {
+			fmt.Fprintf(os.Stderr, "ndaserve: store recovery dropped %d invalid entries\n", c.DroppedOnOpen)
+		}
+	}
+	var sharedStore *store.Store
+	switch {
+	case *sharedDir == "":
+	case len(urls) == 0:
+		fatal(fmt.Errorf("-shared-store-dir requires coordinator mode (-workers)"))
+	case *sharedDir == *storeDir:
+		sharedStore = diskStore
+	default:
+		sharedStore, err = store.Open(*sharedDir, store.Options{MaxBytes: *storeMaxBytes})
+		fatal(err)
+		defer sharedStore.Close()
+	}
+
 	var fleet *dist.Coordinator
 	if len(urls) > 0 {
 		if *workerWindow < 1 {
@@ -92,12 +143,18 @@ func main() {
 		if *hedgeAfter < 0 {
 			fatal(fmt.Errorf("-hedge-after %v invalid: want 0 (disabled) or a positive duration", *hedgeAfter))
 		}
-		fleet, err = dist.New(urls, dist.Options{
+		opts := dist.Options{
 			Window:      *workerWindow,
 			CellTimeout: *cellTimeout,
 			Retries:     *cellRetries,
 			HedgeAfter:  *hedgeAfter,
-		})
+		}
+		// Assign only a live store: boxing a nil *store.Store into the
+		// interface field would defeat the coordinator's nil check.
+		if sharedStore != nil {
+			opts.SharedStore = sharedStore
+		}
+		fleet, err = dist.New(urls, opts)
 		fatal(err)
 		defer fleet.Close()
 		fmt.Fprintf(os.Stderr, "ndaserve: coordinating %d workers (window %d/worker)\n", len(urls), *workerWindow)
@@ -109,8 +166,17 @@ func main() {
 		SimWorkers:      simN,
 		CacheMaxEntries: *cacheMax,
 		Fleet:           fleet,
+		Store:           diskStore,
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+
+	if *warmFrom != "" {
+		req, err := loadWarmRequest(*warmFrom)
+		fatal(err)
+		j, err := mgr.SubmitWarm(req)
+		fatal(err)
+		fmt.Fprintf(os.Stderr, "ndaserve: warming cache (%s, job %s)\n", *warmFrom, j.ID())
+	}
 
 	// The signal context governs the serving phase only: once it fires we
 	// stop listening, then drain the manager on its own budget.
@@ -141,4 +207,23 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Fprintln(os.Stderr, "ndaserve: drained cleanly")
+}
+
+// loadWarmRequest resolves the -warm-from argument: the literal "standard"
+// selects the built-in figure set (an empty WarmRequest — the manager
+// substitutes serve.StandardWarm), anything else is a path to a
+// WarmRequest JSON file.
+func loadWarmRequest(arg string) (serve.WarmRequest, error) {
+	var req serve.WarmRequest
+	if arg == "standard" {
+		return req, nil
+	}
+	b, err := os.ReadFile(arg)
+	if err != nil {
+		return req, fmt.Errorf("-warm-from: %w", err)
+	}
+	if err := json.Unmarshal(b, &req); err != nil {
+		return req, fmt.Errorf("-warm-from %s: %w", arg, err)
+	}
+	return req, nil
 }

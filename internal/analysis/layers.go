@@ -107,10 +107,12 @@ var DefaultContract = []Rule{
 		"nda/internal/trace", "nda/internal/workload"}},
 
 	// Service shell.
+	{Path: "nda/internal/store", Class: Service},
 	{Path: "nda/internal/dist", Class: Service, Allow: []string{"nda/internal/par"}},
 	{Path: "nda/internal/serve", Class: Service, Allow: []string{
 		"nda/internal/attack", "nda/internal/core", "nda/internal/dist", "nda/internal/gadget",
-		"nda/internal/harness", "nda/internal/ooo", "nda/internal/par", "nda/internal/workload"}},
+		"nda/internal/harness", "nda/internal/ooo", "nda/internal/par", "nda/internal/store",
+		"nda/internal/workload"}},
 
 	// CLI shell.
 	{Path: "nda/internal/cliutil", Class: CLI, Allow: []string{
@@ -128,7 +130,7 @@ var DefaultContract = []Rule{
 		"nda/internal/analysis", "nda/internal/diffuzz", "nda/internal/gadget"}},
 	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{"nda/internal/analysis"}},
 	{Path: "nda/cmd/ndaserve", Class: CLI, Allow: []string{
-		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve"}},
+		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve", "nda/internal/store"}},
 	{Path: "nda/cmd/benchjson", Class: CLI},
 
 	// Documentation programs.

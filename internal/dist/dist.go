@@ -51,6 +51,17 @@ const (
 	DefaultEvictAfter  = 3
 )
 
+// SharedStore is a fleet-wide result tier the coordinator consults before
+// dispatching a cell and writes back after one completes — in practice the
+// persistent store (internal/store) on storage every coordinator replica
+// can reach. Both methods are best-effort: a miss or a failed write only
+// costs a dispatch, never correctness, because values are content-addressed
+// by the same keys the result cache uses.
+type SharedStore interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
 // Options tunes the coordinator. The zero value of each field selects the
 // matching Default constant; HedgeAfter <= 0 disables hedging.
 type Options struct {
@@ -76,6 +87,11 @@ type Options struct {
 	// Client is the HTTP client used for dispatch and probing; nil means
 	// a dedicated client with sane connection reuse.
 	Client *http.Client
+	// SharedStore, when non-nil, is the fleet-shared result tier: Do
+	// serves keyed cells straight from it when they are present (no worker
+	// is touched) and persists completed cells back into it. nil disables
+	// the tier.
+	SharedStore SharedStore
 }
 
 func (o Options) withDefaults() Options {

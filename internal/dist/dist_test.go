@@ -374,7 +374,7 @@ func TestFleetHedging(t *testing.T) {
 	req, _ := json.Marshal(serve.CellRequest{
 		Kind: "sweep", Workload: "exchange2", InOrder: true, Sampling: tinySampling(),
 	})
-	raw, stat, err := fleet.Do(context.Background(), "/v1/cell", req)
+	raw, stat, err := fleet.Do(context.Background(), "/v1/cell", "", req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -437,7 +437,7 @@ func TestEvictionAndReadmission(t *testing.T) {
 
 	// The readmitted worker serves again.
 	req, _ := json.Marshal(serve.CellRequest{Kind: "gadget", Program: "meltdown"})
-	if _, _, err := fleet.Do(context.Background(), "/v1/cell", req); err != nil {
+	if _, _, err := fleet.Do(context.Background(), "/v1/cell", "", req); err != nil {
 		t.Fatalf("cell after readmission: %v", err)
 	}
 }

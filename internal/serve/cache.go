@@ -3,7 +3,33 @@ package serve
 import (
 	"container/list"
 	"context"
+	"encoding/json"
 	"sync"
+)
+
+// Tier is a second cache level consulted under the in-RAM LRU: the disk
+// store (internal/store) in this process, or any other persistent
+// key/value layer keyed by the same Key(...) hashes. Both methods are
+// best-effort — a tier that misses or fails simply pushes the request to
+// the next level (compute).
+type Tier interface {
+	Get(key string) ([]byte, bool)
+	Put(key string, val []byte)
+}
+
+// HitTier reports which level served a cache lookup.
+type HitTier int
+
+const (
+	// Computed: every tier missed; the compute callback ran (locally or
+	// as a fleet dispatch).
+	Computed HitTier = iota
+	// HitRAM: served from the in-process LRU, including joins on another
+	// caller's in-flight computation (the work ran once, not per caller).
+	HitRAM
+	// HitDisk: missed RAM, served from the persistent tier, and installed
+	// back into RAM for the next caller.
+	HitDisk
 )
 
 // Cache is the content-addressed result store with singleflight
@@ -23,13 +49,15 @@ import (
 // In-flight entries are pinned (they are not results yet and other callers
 // may be joined on them); they enter the LRU order when they complete.
 // Eviction affects only memory and future hit rates — a re-asked evicted
-// cell recomputes to the identical value.
+// cell recomputes to the identical value, or reloads from the disk tier
+// for free when one is configured.
 type Cache struct {
 	mu      sync.Mutex
 	max     int // > 0; ready entries beyond this are evicted LRU
 	m       map[string]*cacheEntry
-	lru     list.List // ready entries, front = most recently used
-	onEvict func()    // optional eviction hook (metrics)
+	lru     list.List           // ready entries, front = most recently used
+	bytes   int64               // sum of ready entries' encoded sizes (0 when unknown)
+	onEvict func(sizeBytes int) // optional eviction hook (metrics)
 }
 
 type cacheEntry struct {
@@ -37,6 +65,7 @@ type cacheEntry struct {
 	ready chan struct{} // closed when val/err are final
 	val   any
 	err   error
+	size  int           // encoded-bytes size, 0 when never encoded (untiered entries)
 	elem  *list.Element // nil while in flight
 }
 
@@ -47,8 +76,11 @@ const DefaultCacheMaxEntries = 1 << 16
 
 // NewCache returns an empty cache holding at most max ready entries
 // (max <= 0 means DefaultCacheMaxEntries). onEvict, if non-nil, is called
-// once per evicted entry.
-func NewCache(max int, onEvict func()) *Cache {
+// once per evicted entry with the entry's approximate byte size — the
+// encoded (persisted-format) size when known, 0 for entries that were
+// never encoded — so the metrics layer can account the RAM tier in bytes
+// as well as entries, mirroring the disk tier.
+func NewCache(max int, onEvict func(sizeBytes int)) *Cache {
 	if max <= 0 {
 		max = DefaultCacheMaxEntries
 	}
@@ -62,6 +94,16 @@ func (c *Cache) Len() int {
 	return len(c.m)
 }
 
+// Bytes returns the approximate total encoded size of ready entries.
+// Entries resolved through the untiered Do path have unknown (zero) size,
+// so this is a floor, not an exact heap figure; for store-backed managers
+// every cell entry is encoded and counted.
+func (c *Cache) Bytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.bytes
+}
+
 // Do returns the cached value for key, joining an in-flight computation if
 // one exists, or computes it by calling compute. hit reports whether the
 // value was served without running compute in this call — a warm cache
@@ -69,6 +111,21 @@ func (c *Cache) Len() int {
 // compute itself is responsible for observing ctx (the simulation runners
 // pass it down to the cores).
 func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error)) (v any, hit bool, err error) {
+	v, tier, err := c.DoTiered(ctx, key, nil, nil, compute)
+	return v, tier == HitRAM, err
+}
+
+// DoTiered is Do with a persistent second level underneath the RAM tier.
+// On a RAM miss it consults tier2 (when non-nil): a stored value is
+// decoded with decode, installed into RAM, and served as HitDisk. When
+// every tier misses, compute runs; its result is canonically JSON-encoded
+// once — for the RAM tier's byte accounting and, when tier2 is present,
+// persisted so the next process start finds it. decode must be the
+// inverse of that encoding for the value's concrete type; a decode
+// failure (a corrupt or alien stored value) falls through to compute and
+// the recomputed value overwrites nothing (keys are content-addressed, so
+// the bytes would be identical anyway).
+func (c *Cache) DoTiered(ctx context.Context, key string, tier2 Tier, decode func([]byte) (any, error), compute func() (any, error)) (v any, tier HitTier, err error) {
 	for {
 		c.mu.Lock()
 		if e, ok := c.m[key]; ok {
@@ -77,33 +134,53 @@ func (c *Cache) Do(ctx context.Context, key string, compute func() (any, error))
 			select {
 			case <-e.ready:
 				if e.err == nil {
-					return e.val, true, nil
+					return e.val, HitRAM, nil
 				}
 				// The owner failed (possibly its own cancellation). The
 				// entry is already gone; retry under our context.
 				if cerr := ctx.Err(); cerr != nil {
-					return nil, false, cerr
+					return nil, Computed, cerr
 				}
 				continue
 			case <-ctx.Done():
-				return nil, false, ctx.Err()
+				return nil, Computed, ctx.Err()
 			}
 		}
 		e := &cacheEntry{key: key, ready: make(chan struct{})}
 		c.m[key] = e
 		c.mu.Unlock()
 
-		e.val, e.err = compute()
+		tier = Computed
+		if tier2 != nil && decode != nil {
+			if b, ok := tier2.Get(key); ok {
+				if dv, derr := decode(b); derr == nil {
+					e.val, e.size, tier = dv, len(b), HitDisk
+				}
+			}
+		}
+		if tier == Computed {
+			e.val, e.err = compute()
+			if e.err == nil && tier2 != nil {
+				// One canonical encoding serves both needs: the disk
+				// tier's value bytes and the RAM tier's size accounting.
+				if b, merr := json.Marshal(e.val); merr == nil {
+					e.size = len(b)
+					tier2.Put(key, b)
+				}
+			}
+		}
+
 		c.mu.Lock()
 		if e.err != nil {
 			delete(c.m, key)
 		} else {
 			e.elem = c.lru.PushFront(e)
+			c.bytes += int64(e.size)
 			c.evictOver()
 		}
 		c.mu.Unlock()
 		close(e.ready)
-		return e.val, false, e.err
+		return e.val, tier, e.err
 	}
 }
 
@@ -126,8 +203,9 @@ func (c *Cache) evictOver() {
 		e := c.lru.Remove(back).(*cacheEntry)
 		e.elem = nil
 		delete(c.m, e.key)
+		c.bytes -= int64(e.size)
 		if c.onEvict != nil {
-			c.onEvict()
+			c.onEvict(e.size)
 		}
 	}
 }

@@ -128,21 +128,24 @@ func (m *Manager) runCell(ctx context.Context, t *cellTask) (any, error) {
 	}
 }
 
-// remoteCell dispatches one cell to the fleet and decodes the winning
-// response into out. The job's per-worker progress counters absorb the
-// dispatch record (retries, hedges, the worker that served it).
-func (m *Manager) remoteCell(ctx context.Context, j *Job, req CellRequest, out any) error {
+// remoteCell resolves one cell through the fleet and decodes the winning
+// response into out. The coordinator consults its fleet-shared store under
+// the cell's cache key first — sharedHit reports that the result came from
+// there and no worker was touched. On a real dispatch, the job's
+// per-worker progress counters absorb the dispatch record (retries,
+// hedges, the worker that served it).
+func (m *Manager) remoteCell(ctx context.Context, j *Job, key string, req CellRequest, out any) (sharedHit bool, err error) {
 	body, err := json.Marshal(req)
 	if err != nil {
-		return err
+		return false, err
 	}
-	raw, stat, err := m.cfg.Fleet.Do(ctx, "/v1/cell", body)
+	raw, stat, err := m.cfg.Fleet.Do(ctx, "/v1/cell", key, body)
 	j.noteDispatch(stat)
 	if err != nil {
-		return err
+		return false, err
 	}
 	if err := json.Unmarshal(raw, out); err != nil {
-		return fmt.Errorf("serve: undecodable cell response from %s: %w", stat.Worker, err)
+		return false, fmt.Errorf("serve: undecodable cell response from %s: %w", stat.Worker, err)
 	}
-	return nil
+	return stat.SharedHit, nil
 }

@@ -84,7 +84,7 @@ func TestCellEndpointRejects(t *testing.T) {
 // used first, reports evictions, and recomputes an evicted key.
 func TestCacheLRUEviction(t *testing.T) {
 	var evictions int
-	c := NewCache(2, func() { evictions++ })
+	c := NewCache(2, func(int) { evictions++ })
 	compute := func(v int) func() (any, error) {
 		return func() (any, error) { return v, nil }
 	}

@@ -14,6 +14,7 @@ import (
 //	POST /v1/sweep     submit a performance sweep        (body: SweepRequest)
 //	POST /v1/attack    submit a security-matrix run      (body: AttackRequest)
 //	POST /v1/gadgets   submit a static gadget census     (body: GadgetsRequest)
+//	POST /v1/warm      precompute a request set          (body: WarmRequest)
 //	POST /v1/cell      evaluate one cell synchronously   (body: CellRequest)
 //	GET  /v1/jobs      list jobs in submission order
 //	GET  /v1/jobs/{id} job status and progress
@@ -36,6 +37,11 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("POST /v1/gadgets", func(w http.ResponseWriter, r *http.Request) {
 		submit(m, w, r, func(req GadgetsRequest) (*Job, error) { return m.SubmitGadgets(req) })
+	})
+	// Cache warming: precompute a request set so later submissions are
+	// tier hits. An empty body warms the standard figure set.
+	mux.HandleFunc("POST /v1/warm", func(w http.ResponseWriter, r *http.Request) {
+		submit(m, w, r, func(req WarmRequest) (*Job, error) { return m.SubmitWarm(req) })
 	})
 	// The fleet's work unit: one cell, evaluated synchronously through
 	// this worker's cache, bypassing the job queue (coordinators bound
@@ -98,10 +104,7 @@ func NewHandler(m *Manager) http.Handler {
 	})
 	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-		_, _ = fmt.Fprint(w, m.Metrics().Render())
-		if f := m.Fleet(); f != nil {
-			_, _ = fmt.Fprint(w, f.RenderMetrics())
-		}
+		_, _ = fmt.Fprint(w, m.RenderMetrics())
 	})
 	return mux
 }

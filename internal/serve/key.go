@@ -5,21 +5,32 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"strconv"
+
+	"nda/internal/store"
 )
 
 // Key derives the content address for a unit of simulation work: a stable
-// SHA-256 over the kind tag and the canonical JSON encoding of the inputs
-// that determine the result. Two requests that would simulate the same
-// thing — the same program, ooo.Params, policy, and sample spec — hash to
-// the same key no matter which API call, job, or client they arrive
-// through, which is what lets the cache serve repeated sweeps, repeated
-// attack cells, and shared checkpoint series without re-simulation.
+// SHA-256 over the kind tag, the store format version, and the canonical
+// JSON encoding of the inputs that determine the result. Two requests
+// that would simulate the same thing — the same program, ooo.Params,
+// policy, and sample spec — hash to the same key no matter which API
+// call, job, or client they arrive through, which is what lets the cache
+// serve repeated sweeps, repeated attack cells, and shared checkpoint
+// series without re-simulation.
 //
 // The encoding is canonical because every key payload is a struct of
 // scalars, slices, and string-keyed maps: encoding/json emits struct fields
 // in declaration order and sorts map keys, so identical values yield
 // identical bytes. Anything that must not affect identity (worker counts,
 // progress hooks) is stripped before hashing.
+//
+// store.FormatVersion is folded into the preimage so that bumping it
+// invalidates every tier at once: RAM entries, disk entries, and the
+// fleet-shared tier all key off this hash, and results persisted under an
+// old format version become unreachable instead of being decoded wrong.
+// TestKeyGolden pins today's hashes — an accidental bump (or any drift in
+// the preimage layout) shows up there as a golden diff.
 func Key(kind string, payload any) string {
 	b, err := json.Marshal(payload)
 	if err != nil {
@@ -29,6 +40,8 @@ func Key(kind string, payload any) string {
 	}
 	h := sha256.New()
 	h.Write([]byte(kind))
+	h.Write([]byte{0})
+	h.Write([]byte(strconv.Itoa(store.FormatVersion)))
 	h.Write([]byte{0})
 	h.Write(b)
 	return kind + ":" + hex.EncodeToString(h.Sum(nil)[:16])

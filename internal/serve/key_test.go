@@ -1,0 +1,55 @@
+package serve
+
+import "testing"
+
+// TestKeyGolden pins the exact key strings produced for fixed payloads.
+// The key preimage folds in store.FormatVersion, so these literals break —
+// loudly, as a golden diff — if anyone bumps the format version or changes
+// the preimage layout without meaning to. An intentional bump updates the
+// literals here in the same change, which is exactly the review surface we
+// want: key migration is a decision, not an accident.
+func TestKeyGolden(t *testing.T) {
+	type payload struct {
+		Workload string `json:"workload"`
+		InOrder  bool   `json:"in_order"`
+		Policy   string `json:"policy"`
+	}
+	cases := []struct {
+		kind    string
+		payload any
+		want    string
+	}{
+		{"sweep-cell", payload{Workload: "ptrchase", Policy: "OoO"}, "sweep-cell:ee99a26ebba7eecac6f84c9734d75a01"},
+		{"sweep-cell", payload{Workload: "ptrchase", Policy: "Permissive"}, "sweep-cell:7764b90792ae6bcd3ba901436c980451"},
+		{"sweep-cell", payload{Workload: "ptrchase", InOrder: true}, "sweep-cell:81bac65a42ddd439e1ebfd4c3d586525"},
+		{"attack-cell", payload{Workload: "spectre-v1", Policy: "OoO"}, "attack-cell:1c824e5bfa187820ae1efa2fd907708a"},
+		{"gadget", struct {
+			Program string `json:"program"`
+			Window  int    `json:"window"`
+		}{"leak_loop", 8}, "gadget:9be0a570eb5b0ce4984572f3124a2c89"},
+	}
+	for _, c := range cases {
+		if got := Key(c.kind, c.payload); got != c.want {
+			t.Errorf("Key(%q, %+v)\n  got  %s\n  want %s", c.kind, c.payload, got, c.want)
+		}
+	}
+}
+
+// TestKeyDistinguishes proves the properties the golden pins rely on: the
+// kind tag and every payload field participate in the hash, and equal
+// inputs collide (that collision is the whole caching scheme).
+func TestKeyDistinguishes(t *testing.T) {
+	type p struct{ A, B string }
+	base := Key("k", p{"x", "y"})
+	if Key("k", p{"x", "y"}) != base {
+		t.Fatal("identical inputs produced different keys")
+	}
+	for name, other := range map[string]string{
+		"kind":  Key("k2", p{"x", "y"}),
+		"field": Key("k", p{"x", "z"}),
+	} {
+		if other == base {
+			t.Fatalf("changing %s did not change the key", name)
+		}
+	}
+}

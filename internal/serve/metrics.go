@@ -20,9 +20,11 @@ type Metrics struct {
 	JobsFailed    atomic.Int64 // jobs finished with an error
 	JobsCancelled atomic.Int64 // jobs ended by cancellation or timeout
 
-	CacheHits      atomic.Int64 // cells served from the result cache
-	CacheMisses    atomic.Int64 // cells that had to simulate
-	CacheEvictions atomic.Int64 // ready entries dropped by the LRU cap
+	CacheHits         atomic.Int64 // cells served without leaving this process (RAM or disk)
+	CacheMisses       atomic.Int64 // cells that had to simulate or dispatch
+	CacheDiskHits     atomic.Int64 // subset of CacheHits served from the persistent store
+	CacheEvictions    atomic.Int64 // ready entries dropped by the LRU cap
+	CacheEvictedBytes atomic.Int64 // approximate encoded bytes those evictions released
 
 	CellsServed atomic.Int64 // worker-side /v1/cell requests completed
 
@@ -60,7 +62,9 @@ func (m *Metrics) Render() string {
 	counter("nda_jobs_cancelled_total", "jobs ended by cancellation or timeout", m.JobsCancelled.Load())
 	counter("nda_cache_hits_total", "simulation cells served from the result cache", m.CacheHits.Load())
 	counter("nda_cache_misses_total", "simulation cells that had to simulate", m.CacheMisses.Load())
+	counter("nda_cache_disk_hits_total", "result-cache hits served by the persistent store tier", m.CacheDiskHits.Load())
 	counter("nda_cache_evictions_total", "result-cache entries evicted by the LRU cap", m.CacheEvictions.Load())
+	counter("nda_cache_evicted_bytes_total", "approximate encoded bytes released by those evictions", m.CacheEvictedBytes.Load())
 	counter("nda_cells_served_total", "worker-side /v1/cell requests completed", m.CellsServed.Load())
 	counter("nda_simulations_total", "detailed simulations run", m.Simulations.Load())
 	counter("nda_cycles_simulated_total", "measured cycles across all simulations", m.CyclesSimulated.Load())
@@ -68,5 +72,38 @@ func (m *Metrics) Render() string {
 	fmt.Fprintf(&b, "# HELP nda_cycles_per_second lifetime average simulated cycles per second\n# TYPE nda_cycles_per_second gauge\nnda_cycles_per_second %.1f\n", m.CyclesPerSecond())
 	//ndavet:allow detlint uptime gauge on /metrics; observability only, not in any result
 	fmt.Fprintf(&b, "# HELP nda_uptime_seconds seconds since the service started\n# TYPE nda_uptime_seconds gauge\nnda_uptime_seconds %.1f\n", time.Since(m.start).Seconds())
+	return b.String()
+}
+
+// RenderMetrics composes the full /metrics payload: the counter block,
+// live RAM-tier gauges, the persistent store's counters when one is
+// configured, and the fleet block when running as a coordinator.
+func (m *Manager) RenderMetrics() string {
+	var b strings.Builder
+	b.WriteString(m.metrics.Render())
+	gauge := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %d\n", name, help, name, name, v)
+	}
+	gauge("nda_cache_entries", "result-cache entries resident in RAM (ready or in flight)", int64(m.cache.Len()))
+	gauge("nda_cache_bytes", "approximate encoded bytes of ready RAM-tier entries", m.cache.Bytes())
+	if s := m.cfg.Store; s != nil {
+		c := s.Counters()
+		gauge("nda_store_entries", "entries resident in the persistent store", int64(c.Entries))
+		gauge("nda_store_bytes", "bytes held by the persistent store (headers and keys included)", c.Bytes)
+		gauge("nda_store_max_bytes", "the persistent store's byte budget", c.MaxBytes)
+		counter := func(name, help string, v int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+		}
+		counter("nda_store_hits_total", "lookups the persistent store served", c.Hits)
+		counter("nda_store_misses_total", "lookups the persistent store did not hold", c.Misses)
+		counter("nda_store_puts_total", "entries written to the persistent store", c.Puts)
+		counter("nda_store_put_errors_total", "writes the persistent store could not complete", c.PutErrors)
+		counter("nda_store_evictions_total", "entries evicted by the store's byte budget", c.Evictions)
+		counter("nda_store_evicted_bytes_total", "bytes released by those evictions", c.EvictedBytes)
+		counter("nda_store_dropped_on_open_total", "invalid entries dropped during open-time recovery", c.DroppedOnOpen)
+	}
+	if f := m.cfg.Fleet; f != nil {
+		b.WriteString(f.RenderMetrics())
+	}
 	return b.String()
 }

@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 
 	"nda/internal/attack"
@@ -76,7 +77,9 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 			cells = append(cells, cellSpec{spec: spec, inOrder: true})
 		}
 	}
-	j.total.Store(int64(len(cells)))
+	// Add, not Store: a warm job runs several sub-requests through this
+	// runner and accumulates one combined progress total.
+	j.total.Add(int64(len(cells)))
 
 	// Cells saturate the pool on their own; per-sample fan-out inside a
 	// checkpointed cell stays serial, exactly as in harness.RunSweep.
@@ -142,14 +145,23 @@ func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, p
 	keyCfg := cfg
 	keyCfg.Workers = 0
 	key := Key("sweep-cell", sweepCellKey{Workload: spec.Name, InOrder: inOrder, Policy: pol, Config: keyCfg})
-	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+	shared := false
+	decode := func(b []byte) (any, error) {
+		var mres harness.Measurement
+		if err := json.Unmarshal(b, &mres); err != nil {
+			return nil, err
+		}
+		return &mres, nil
+	}
+	v, tier, err := m.cache.DoTiered(ctx, key, m.tier2(), decode, func() (any, error) {
 		if m.cfg.Fleet != nil {
 			req := CellRequest{Kind: "sweep", Workload: spec.Name, InOrder: inOrder, Sampling: sampling}
 			if !inOrder {
 				req.Policy = pol.Name
 			}
 			var mres harness.Measurement
-			if err := m.remoteCell(ctx, j, req, &mres); err != nil {
+			var err error
+			if shared, err = m.remoteCell(ctx, j, key, req, &mres); err != nil {
 				return nil, err
 			}
 			return &mres, nil
@@ -182,7 +194,7 @@ func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, p
 	if err != nil {
 		return nil, err
 	}
-	m.noteCacheUse(j, hit)
+	m.noteTier(j, tier, shared)
 	return v.(*harness.Measurement), nil
 }
 
@@ -211,7 +223,7 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 		perKind++
 	}
 	cells := make([]attack.Cell, len(t.kinds)*perKind)
-	j.total.Store(int64(len(cells)))
+	j.total.Add(int64(len(cells)))
 
 	err := par.RunCtx(ctx, len(cells), m.simWorkers(), func(i int) error {
 		kind := t.kinds[i/perKind]
@@ -250,14 +262,23 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 // simulating locally or dispatching to the fleet on a miss.
 func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol core.Policy, inOrder bool) (*attack.Outcome, error) {
 	key := Key("attack-cell", attackCellKey{Attack: kind, InOrder: inOrder, Policy: pol, Params: m.cfg.Params})
-	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+	shared := false
+	decode := func(b []byte) (any, error) {
+		var out attack.Outcome
+		if err := json.Unmarshal(b, &out); err != nil {
+			return nil, err
+		}
+		return &out, nil
+	}
+	v, tier, err := m.cache.DoTiered(ctx, key, m.tier2(), decode, func() (any, error) {
 		if m.cfg.Fleet != nil {
 			req := CellRequest{Kind: "attack", Attack: string(kind), InOrder: inOrder}
 			if !inOrder {
 				req.Policy = pol.Name
 			}
 			var out attack.Outcome
-			if err := m.remoteCell(ctx, j, req, &out); err != nil {
+			var err error
+			if shared, err = m.remoteCell(ctx, j, key, req, &out); err != nil {
 				return nil, err
 			}
 			return &out, nil
@@ -279,7 +300,7 @@ func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol 
 	if err != nil {
 		return nil, err
 	}
-	m.noteCacheUse(j, hit)
+	m.noteTier(j, tier, shared)
 	return v.(*attack.Outcome), nil
 }
 
@@ -294,7 +315,7 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 	for _, in := range builtins {
 		byName[in.Name] = in
 	}
-	j.total.Store(int64(len(t.ins)))
+	j.total.Add(int64(len(t.ins)))
 
 	report := &gadget.Report{Window: gadget.DefaultWindow, Programs: make([]gadget.ProgramReport, len(t.ins))}
 	err = par.RunCtx(ctx, len(t.ins), m.simWorkers(), func(i int) error {
@@ -320,10 +341,19 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 // analyzing locally or dispatching to the fleet on a miss.
 func (m *Manager) gadgetCell(ctx context.Context, j *Job, in gadget.Input) (gadget.ProgramReport, error) {
 	key := Key("gadget", gadgetKey{Program: in.Name, Window: gadget.DefaultWindow})
-	v, hit, err := m.cache.Do(ctx, key, func() (any, error) {
+	shared := false
+	decode := func(b []byte) (any, error) {
+		var pr gadget.ProgramReport
+		if err := json.Unmarshal(b, &pr); err != nil {
+			return nil, err
+		}
+		return pr, nil
+	}
+	v, tier, err := m.cache.DoTiered(ctx, key, m.tier2(), decode, func() (any, error) {
 		if m.cfg.Fleet != nil {
 			var pr gadget.ProgramReport
-			if err := m.remoteCell(ctx, j, CellRequest{Kind: "gadget", Program: in.Name}, &pr); err != nil {
+			var err error
+			if shared, err = m.remoteCell(ctx, j, key, CellRequest{Kind: "gadget", Program: in.Name}, &pr); err != nil {
 				return nil, err
 			}
 			return pr, nil
@@ -334,22 +364,36 @@ func (m *Manager) gadgetCell(ctx context.Context, j *Job, in gadget.Input) (gadg
 	if err != nil {
 		return gadget.ProgramReport{}, err
 	}
-	m.noteCacheUse(j, hit)
+	m.noteTier(j, tier, shared)
 	return v.(gadget.ProgramReport), nil
 }
 
-// noteCacheUse folds one cell's cache outcome into the job's and the
-// service's counters. j may be nil: the worker-side /v1/cell path serves
-// cells with no job behind them.
-func (m *Manager) noteCacheUse(j *Job, hit bool) {
-	if hit {
+// noteTier folds one cell's resolution tier into the job's and the
+// service's counters. shared marks a compute that the fleet-shared store
+// absorbed before any worker was dispatched (only the coordinator's
+// remoteCell path sets it). j may be nil: the worker-side /v1/cell path
+// serves cells with no job behind them.
+func (m *Manager) noteTier(j *Job, tier HitTier, shared bool) {
+	switch {
+	case tier == HitRAM:
 		if j != nil {
-			j.hits.Add(1)
+			j.tierRAM.Add(1)
 		}
 		m.metrics.CacheHits.Add(1)
-	} else {
+	case tier == HitDisk:
 		if j != nil {
-			j.misses.Add(1)
+			j.tierDisk.Add(1)
+		}
+		m.metrics.CacheHits.Add(1)
+		m.metrics.CacheDiskHits.Add(1)
+	case shared:
+		if j != nil {
+			j.tierShared.Add(1)
+		}
+		m.metrics.CacheMisses.Add(1)
+	default:
+		if j != nil {
+			j.tierComputed.Add(1)
 		}
 		m.metrics.CacheMisses.Add(1)
 	}

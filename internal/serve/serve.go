@@ -28,6 +28,7 @@ import (
 	"nda/internal/dist"
 	"nda/internal/ooo"
 	"nda/internal/par"
+	"nda/internal/store"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -57,9 +58,11 @@ type Job struct {
 	id   string
 	kind string
 
-	// Progress counters, written by cell simulations as they finish.
-	total, done  atomic.Int64
-	hits, misses atomic.Int64
+	// Progress counters, written by cell simulations as they finish. The
+	// tier counters split every resolved cell by the level that served it;
+	// the legacy hits/misses pair in Status is derived from them.
+	total, done                                 atomic.Int64
+	tierRAM, tierDisk, tierShared, tierComputed atomic.Int64
 
 	mu        sync.Mutex
 	state     JobState
@@ -118,18 +121,33 @@ func (j *Job) noteDispatch(stat dist.Stat) {
 // ID returns the job's identifier.
 func (j *Job) ID() string { return j.id }
 
+// TierCounts splits a job's resolved cells by the level that served each
+// one: the in-process RAM cache, the local disk store, the fleet-shared
+// store (coordinator hit — no worker was touched), or an actual
+// computation (a local simulation, or a dispatch a worker simulated).
+type TierCounts struct {
+	RAM         int64 `json:"ram"`
+	Disk        int64 `json:"disk"`
+	FleetShared int64 `json:"fleet_shared"`
+	Computed    int64 `json:"computed"`
+}
+
 // Status is a consistent snapshot of a job for the API. It deliberately
 // carries no wall-clock fields: identical requests must produce identical
 // response bytes whether they simulated or hit the cache.
 type Status struct {
-	ID          string   `json:"id"`
-	Kind        string   `json:"kind"`
-	State       JobState `json:"state"`
-	DoneCells   int64    `json:"done_cells"`
-	TotalCells  int64    `json:"total_cells"`
-	CacheHits   int64    `json:"cache_hits"`
-	CacheMisses int64    `json:"cache_misses"`
-	Error       string   `json:"error,omitempty"`
+	ID         string   `json:"id"`
+	Kind       string   `json:"kind"`
+	State      JobState `json:"state"`
+	DoneCells  int64    `json:"done_cells"`
+	TotalCells int64    `json:"total_cells"`
+	// CacheHits counts cells served without work leaving this process
+	// (RAM + disk); CacheMisses counts the rest (fleet-shared + computed).
+	// Tiers carries the full four-way breakdown.
+	CacheHits   int64      `json:"cache_hits"`
+	CacheMisses int64      `json:"cache_misses"`
+	Tiers       TierCounts `json:"tiers"`
+	Error       string     `json:"error,omitempty"`
 	// Workers breaks a distributed job's progress down per fleet worker,
 	// sorted by worker URL; empty for locally-simulated jobs.
 	Workers []WorkerCells `json:"workers,omitempty"`
@@ -139,14 +157,21 @@ type Status struct {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	tiers := TierCounts{
+		RAM:         j.tierRAM.Load(),
+		Disk:        j.tierDisk.Load(),
+		FleetShared: j.tierShared.Load(),
+		Computed:    j.tierComputed.Load(),
+	}
 	st := Status{
 		ID:          j.id,
 		Kind:        j.kind,
 		State:       j.state,
 		DoneCells:   j.done.Load(),
 		TotalCells:  j.total.Load(),
-		CacheHits:   j.hits.Load(),
-		CacheMisses: j.misses.Load(),
+		CacheHits:   tiers.RAM + tiers.Disk,
+		CacheMisses: tiers.FleetShared + tiers.Computed,
+		Tiers:       tiers,
 		Error:       j.errMsg,
 	}
 	for _, wc := range j.perWorker {
@@ -193,6 +218,13 @@ type Config struct {
 	// CacheMaxEntries caps the result cache (LRU eviction beyond it);
 	// 0 means DefaultCacheMaxEntries.
 	CacheMaxEntries int
+	// Store, when non-nil, is the persistent disk tier under the RAM
+	// cache: cell results that miss RAM are looked up here before
+	// simulating (or dispatching), and computed cells are written back, so
+	// a restarted process replays earlier sweeps from disk without running
+	// a single simulation. Checkpoint series are deliberately not
+	// persisted — only client-visible cell results are.
+	Store *store.Store
 	// Fleet, when non-nil, turns the manager into a coordinator: cells
 	// that miss the result cache are dispatched to the fleet's workers
 	// over /v1/cell instead of simulating in this process. The cache
@@ -240,7 +272,10 @@ func NewManager(cfg Config) *Manager {
 		jobs:       make(map[string]*Job),
 		queue:      make(chan *Job, cfg.QueueDepth),
 	}
-	m.cache = NewCache(cfg.CacheMaxEntries, func() { m.metrics.CacheEvictions.Add(1) })
+	m.cache = NewCache(cfg.CacheMaxEntries, func(sizeBytes int) {
+		m.metrics.CacheEvictions.Add(1)
+		m.metrics.CacheEvictedBytes.Add(int64(sizeBytes))
+	})
 	for i := 0; i < cfg.JobWorkers; i++ {
 		m.wg.Add(1)
 		go m.worker()
@@ -256,6 +291,19 @@ func (m *Manager) Cache() *Cache { return m.cache }
 
 // Fleet exposes the distributed backend; nil when simulating locally.
 func (m *Manager) Fleet() *dist.Coordinator { return m.cfg.Fleet }
+
+// Store exposes the persistent disk tier; nil when running RAM-only.
+func (m *Manager) Store() *store.Store { return m.cfg.Store }
+
+// tier2 adapts the configured store to the cache's Tier interface. The
+// nil check must happen on the concrete pointer — a nil *store.Store boxed
+// into a Tier would pass DoTiered's interface nil check and crash.
+func (m *Manager) tier2() Tier {
+	if m.cfg.Store == nil {
+		return nil
+	}
+	return m.cfg.Store
+}
 
 // Get returns a job by ID.
 func (m *Manager) Get(id string) (*Job, bool) {

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"nda/internal/store"
+)
+
+// newStoreManager builds a manager over a persistent store in dir. No
+// cleanup is registered for the manager on purpose when abandon is true:
+// the restart tests simulate kill -9, which runs no shutdown path.
+func newStoreManager(t *testing.T, dir string, abandon bool) *Manager {
+	t.Helper()
+	st, err := store.Open(dir, store.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewManager(Config{QueueDepth: 8, JobWorkers: 2, SimWorkers: 4, Store: st})
+	if !abandon {
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+			defer cancel()
+			_ = m.Shutdown(ctx)
+			_ = st.Close()
+		})
+	}
+	return m
+}
+
+func runSweepJob(t *testing.T, m *Manager, req SweepRequest) (*Job, []byte) {
+	t.Helper()
+	j, err := m.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	if err := j.Wait(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, ok := j.Result()
+	if !ok {
+		t.Fatalf("sweep job did not finish: %+v", j.Status())
+	}
+	return j, res
+}
+
+// TestStoreRestartByteIdenticalReplay is the PR's acceptance test: a cold
+// process runs the full 92-cell sweep grid into a persistent store, dies
+// without any shutdown path (kill -9 never calls Close), and a fresh
+// process over the same directory replays the sweep byte-identically from
+// disk — the simulation counter stays at zero and every cell reports the
+// disk tier.
+func TestStoreRestartByteIdenticalReplay(t *testing.T) {
+	if testing.Short() {
+		t.Skip("92-cell sweep")
+	}
+	dir := t.TempDir()
+	// All 23 workloads x (3 headline policies + in-order) = 92 cells.
+	req := SweepRequest{
+		Policies: []string{"OoO", "Permissive", "Permissive+BR"},
+		Sampling: tinySampling(),
+	}
+
+	m1 := newStoreManager(t, dir, true)
+	j1, cold := runSweepJob(t, m1, req)
+	if st := j1.Status(); st.TotalCells != 92 || st.Tiers.Computed != 92 {
+		t.Fatalf("cold pass: %+v, want 92 computed cells", st.Tiers)
+	}
+	if sims := m1.Metrics().Simulations.Load(); sims != 92 {
+		t.Fatalf("cold pass ran %d simulations, want 92", sims)
+	}
+	// No Shutdown, no Close: the first process is now "dead". Every Put
+	// was fsync+renamed at completion time, so the store is complete.
+
+	m2 := newStoreManager(t, dir, false)
+	j2, warm := runSweepJob(t, m2, req)
+	if !bytes.Equal(cold, warm) {
+		t.Errorf("replayed sweep differs from the cold run:\ncold: %.200s\nwarm: %.200s", cold, warm)
+	}
+	if sims := m2.Metrics().Simulations.Load(); sims != 0 {
+		t.Errorf("warm replay ran %d simulations, want 0", sims)
+	}
+	if st := j2.Status(); st.Tiers.Disk != 92 || st.Tiers.Computed != 0 {
+		t.Errorf("warm pass tiers = %+v, want 92 disk / 0 computed", st.Tiers)
+	}
+	if hits := m2.Metrics().CacheDiskHits.Load(); hits != 92 {
+		t.Errorf("CacheDiskHits = %d, want 92", hits)
+	}
+
+	// A third pass in the same process is pure RAM.
+	j3, _ := runSweepJob(t, m2, req)
+	if st := j3.Status(); st.Tiers.RAM != 92 {
+		t.Errorf("third pass tiers = %+v, want 92 RAM", st.Tiers)
+	}
+}
+
+// TestWarmEndpoint: POST /v1/warm precomputes the requested set; an
+// identical sweep afterwards is all RAM hits. Over a restarted store the
+// warm job itself is all disk hits — warming is how a rebooted service
+// refills RAM without simulating.
+func TestWarmEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	warmReq := WarmRequest{
+		Sweeps:  []SweepRequest{{Workloads: []string{"exchange2"}, Policies: []string{"OoO"}, Sampling: tinySampling()}},
+		Gadgets: []GadgetsRequest{{Programs: []string{"meltdown"}}},
+	}
+
+	m1 := newStoreManager(t, dir, true)
+	srv1 := startServer(t, m1)
+	resp, body := post(t, srv1.URL+"/v1/warm?wait=1", warmReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("warm = %d: %s", resp.StatusCode, body)
+	}
+	var wr WarmResponse
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	// exchange2 x (OoO + in-order) + one gadget census entry.
+	if wr.Cells != 3 || wr.Tiers.Computed != 3 {
+		t.Fatalf("cold warm response = %+v, want 3 computed cells", wr)
+	}
+	sims := m1.Metrics().Simulations.Load()
+
+	// The warmed sweep is now free.
+	resp, _ = post(t, srv1.URL+"/v1/sweep?wait=1", warmReq.Sweeps[0])
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-warm sweep = %d", resp.StatusCode)
+	}
+	if got := m1.Metrics().Simulations.Load(); got != sims {
+		t.Errorf("post-warm sweep simulated: %d -> %d", sims, got)
+	}
+	srv1.Close() // the manager is abandoned, crash-style
+
+	// Restart: the same warm request replays entirely from disk.
+	m2 := newStoreManager(t, dir, false)
+	srv2 := startServer(t, m2)
+	resp, body = post(t, srv2.URL+"/v1/warm?wait=1", warmReq)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("replayed warm = %d: %s", resp.StatusCode, body)
+	}
+	if err := json.Unmarshal(body, &wr); err != nil {
+		t.Fatal(err)
+	}
+	if wr.Tiers.Disk != 3 || wr.Tiers.Computed != 0 {
+		t.Errorf("replayed warm tiers = %+v, want 3 disk / 0 computed", wr.Tiers)
+	}
+	if sims := m2.Metrics().Simulations.Load(); sims != 0 {
+		t.Errorf("replayed warm ran %d simulations, want 0", sims)
+	}
+}
+
+// TestWarmValidation: an invalid sub-request fails at submission, and an
+// empty request resolves to the standard set without error.
+func TestWarmValidation(t *testing.T) {
+	m, srv := newTestServer(t)
+	resp, body := post(t, srv.URL+"/v1/warm", WarmRequest{
+		Sweeps: []SweepRequest{{Workloads: []string{"no-such-workload"}}},
+	})
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid warm = %d: %s", resp.StatusCode, body)
+	}
+	j, err := m.SubmitWarm(WarmRequest{})
+	if err != nil {
+		t.Fatalf("standard warm rejected: %v", err)
+	}
+	// Don't run the full standard set here — submission validated it.
+	m.Cancel(j.ID())
+}
+
+// TestMetricsStoreBlock: a store-backed manager exposes the store and
+// RAM-tier series on /metrics.
+func TestMetricsStoreBlock(t *testing.T) {
+	m := newStoreManager(t, t.TempDir(), false)
+	srv := startServer(t, m)
+	resp, _ := post(t, srv.URL+"/v1/gadgets?wait=1", GadgetsRequest{Programs: []string{"meltdown"}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("gadgets = %d", resp.StatusCode)
+	}
+	_, body := get(t, srv.URL+"/metrics")
+	for _, want := range []string{
+		"nda_store_entries 1",
+		"nda_store_puts_total 1",
+		"nda_cache_entries 1",
+		"nda_cache_bytes ",
+		"nda_cache_disk_hits_total 0",
+		"nda_cache_evicted_bytes_total 0",
+	} {
+		if !bytes.Contains(body, []byte(want)) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+}
+
+// startServer serves an existing manager over HTTP. Unlike newTestServer
+// it does not own the manager's lifecycle — the restart tests manage (or
+// deliberately abandon) that themselves.
+func startServer(t *testing.T, m *Manager) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(NewHandler(m))
+	t.Cleanup(srv.Close)
+	return srv
+}

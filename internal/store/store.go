@@ -1,0 +1,488 @@
+// Package store is the disk tier of the content-addressed result cache: a
+// persistent key/value store that survives restarts and is shared by every
+// manager that opens the same directory. The serve layer stacks it under
+// its in-RAM LRU, and a fleet coordinator consults one as the fleet-wide
+// tier before dispatching a cell to any worker.
+//
+// Safety model. Every value is keyed by a hash of the full input
+// description that produced it (serve.Key), so persistence is safe by
+// construction: whatever a stored entry holds is byte-for-byte what a
+// fresh simulation of that key would produce, however old the file is.
+// The store therefore never needs expiry or coherence — only integrity —
+// and integrity is local to each entry:
+//
+//   - writes are atomic: the entry is written to a temp file in the store
+//     directory, fsynced, and renamed into place, so a crash (kill -9
+//     included) leaves either the complete entry or no entry;
+//   - every entry file carries a header with a magic tag, the store
+//     format version, its key, and a CRC of the value; Open re-validates
+//     all of it and deletes anything torn, truncated, alien, or written
+//     by a different format version — a dropped entry is recomputed on
+//     the next request, never served corrupt;
+//   - leftover temp files from interrupted writes are swept on Open.
+//
+// Eviction is sized in bytes, not entries: Options.MaxBytes budgets the
+// sum of entry file sizes, and Put evicts least-recently-used entries
+// until the budget holds. Recency survives restarts through an
+// append-only access log of entry touches, replayed (and compacted) on
+// Open; the log is advisory — losing its tail to a crash costs eviction
+// precision, never correctness.
+package store
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// FormatVersion is the on-disk entry format's version. serve.Key folds it
+// into every key's hash preimage, so bumping it atomically invalidates
+// both tiers of every deployed cache: old entry files fail Open's version
+// check and are deleted, and old RAM/disk keys can never collide with new
+// ones. Bump it whenever the encoding of any stored result changes shape
+// in a way the JSON field set alone would not reveal.
+const FormatVersion = 1
+
+// DefaultMaxBytes is the default byte budget: far above the full figure
+// corpus (the complete default-sampling sweep, attack matrix, and gadget
+// census marshal to a few MB), small enough to stay polite on a shared
+// disk.
+const DefaultMaxBytes = 1 << 30
+
+// Options tunes an opened store.
+type Options struct {
+	// MaxBytes budgets the total size of entry files (headers included).
+	// Put evicts least-recently-used entries beyond it. <= 0 selects
+	// DefaultMaxBytes.
+	MaxBytes int64
+}
+
+const (
+	entrySuffix = ".cell"
+	tmpPrefix   = "tmp-"
+	logName     = "access.log"
+	logTmpName  = "access.log.tmp"
+
+	// headerLen is magic(4) + version(4) + keyLen(4) + valLen(4) + crc(4).
+	headerLen = 20
+)
+
+var magic = [4]byte{'N', 'D', 'S', 'T'}
+
+// Store is one opened store directory. All methods are safe for
+// concurrent use; Get and Put are best-effort on I/O errors (a failed
+// read is a miss, a failed write is an uncached value), because the tier
+// above always knows how to recompute.
+type Store struct {
+	dir string
+	max int64
+
+	mu      sync.Mutex
+	entries map[string]*entry // by key
+	byName  map[string]*entry // by entry file base name
+	gen     uint64            // logical clock: bumped per touch, highest = most recent
+	bytes   int64             // sum of entry file sizes
+	log     *os.File          // append-only touch log
+	logLen  int               // touch lines since the last compaction
+
+	hits          atomic.Int64
+	misses        atomic.Int64
+	puts          atomic.Int64
+	putErrors     atomic.Int64
+	evictions     atomic.Int64
+	evictedBytes  atomic.Int64
+	droppedOnOpen atomic.Int64
+}
+
+type entry struct {
+	key  string
+	name string // file base name
+	size int64  // full entry file size
+	gen  uint64
+}
+
+// Counters is a point-in-time snapshot of the store's accounting, sized
+// for /metrics: gauges for the live set, counters for lifetime traffic.
+type Counters struct {
+	Entries       int   `json:"entries"`
+	Bytes         int64 `json:"bytes"`
+	MaxBytes      int64 `json:"max_bytes"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Puts          int64 `json:"puts"`
+	PutErrors     int64 `json:"put_errors"`
+	Evictions     int64 `json:"evictions"`
+	EvictedBytes  int64 `json:"evicted_bytes"`
+	DroppedOnOpen int64 `json:"dropped_on_open"`
+}
+
+// entryName is the content address on disk: a fixed-width hex prefix of
+// the key's SHA-256. The key itself is stored in the entry header, so a
+// (cosmically unlikely) prefix collision reads as a key mismatch and is
+// treated as a miss rather than served wrong.
+func entryName(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:16]) + entrySuffix
+}
+
+// Open loads (or creates) the store at dir: it sweeps temp files from
+// interrupted writes, validates every entry file (deleting torn or
+// version-mismatched ones), replays the access log to restore recency
+// order, rewrites the log compacted, and enforces the byte budget.
+func Open(dir string, opts Options) (*Store, error) {
+	if opts.MaxBytes <= 0 {
+		opts.MaxBytes = DefaultMaxBytes
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	s := &Store{
+		dir:     dir,
+		max:     opts.MaxBytes,
+		entries: make(map[string]*entry),
+		byName:  make(map[string]*entry),
+	}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	// ReadDir sorts by name, so initial generations (before the access
+	// log refines them) are deterministic across opens.
+	for _, de := range names {
+		name := de.Name()
+		switch {
+		case de.IsDir():
+			continue
+		case strings.HasPrefix(name, tmpPrefix) || name == logTmpName:
+			// A temp file is an interrupted write: its entry was never
+			// visible, so removing it loses nothing.
+			_ = os.Remove(filepath.Join(dir, name))
+		case strings.HasSuffix(name, entrySuffix):
+			s.loadEntry(name)
+		}
+	}
+	s.replayLog()
+	if err := s.compactLog(); err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	s.evictOverLocked("")
+	s.mu.Unlock()
+	return s, nil
+}
+
+// loadEntry validates one entry file during Open, indexing it if sound
+// and deleting it otherwise. Called before the store is shared, but takes
+// the lock anyway to keep evictOverLocked's invariants in one place.
+func (s *Store) loadEntry(name string) {
+	path := filepath.Join(s.dir, name)
+	key, _, size, err := readEntry(path)
+	if err != nil {
+		_ = os.Remove(path)
+		s.droppedOnOpen.Add(1)
+		return
+	}
+	if _, dup := s.entries[key]; dup {
+		// Two files claiming one key can only come from manual tampering;
+		// keep the first (ReadDir order) and drop the newcomer.
+		_ = os.Remove(path)
+		s.droppedOnOpen.Add(1)
+		return
+	}
+	s.gen++
+	e := &entry{key: key, name: name, size: size, gen: s.gen}
+	s.entries[key] = e
+	s.byName[name] = e
+	s.bytes += size
+}
+
+// readEntry reads and fully validates one entry file, returning its key,
+// value, and total file size.
+func readEntry(path string) (key string, val []byte, size int64, err error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return "", nil, 0, err
+	}
+	if len(b) < headerLen || [4]byte(b[:4]) != magic {
+		return "", nil, 0, fmt.Errorf("store: %s: bad magic or truncated header", path)
+	}
+	version := binary.LittleEndian.Uint32(b[4:8])
+	keyLen := binary.LittleEndian.Uint32(b[8:12])
+	valLen := binary.LittleEndian.Uint32(b[12:16])
+	crc := binary.LittleEndian.Uint32(b[16:20])
+	if version != FormatVersion {
+		return "", nil, 0, fmt.Errorf("store: %s: format version %d, want %d", path, version, FormatVersion)
+	}
+	if uint64(len(b)) != headerLen+uint64(keyLen)+uint64(valLen) {
+		return "", nil, 0, fmt.Errorf("store: %s: torn entry (%d bytes, header claims %d)", path, len(b), headerLen+keyLen+valLen)
+	}
+	key = string(b[headerLen : headerLen+keyLen])
+	val = b[headerLen+keyLen:]
+	if crc32.ChecksumIEEE(val) != crc {
+		return "", nil, 0, fmt.Errorf("store: %s: value checksum mismatch", path)
+	}
+	return key, val, int64(len(b)), nil
+}
+
+// encodeEntry builds the on-disk bytes for one entry.
+func encodeEntry(key string, val []byte) []byte {
+	b := make([]byte, headerLen+len(key)+len(val))
+	copy(b[:4], magic[:])
+	binary.LittleEndian.PutUint32(b[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(b[8:12], uint32(len(key)))
+	binary.LittleEndian.PutUint32(b[12:16], uint32(len(val)))
+	binary.LittleEndian.PutUint32(b[16:20], crc32.ChecksumIEEE(val))
+	copy(b[headerLen:], key)
+	copy(b[headerLen+len(key):], val)
+	return b
+}
+
+// replayLog re-applies the access log's touch order on top of the
+// directory-scan order: each line is an entry file name, oldest touch
+// first. Unknown names (evicted entries) and a torn final line are
+// skipped — the log is advisory.
+func (s *Store) replayLog() {
+	b, err := os.ReadFile(filepath.Join(s.dir, logName))
+	if err != nil {
+		return
+	}
+	lines := strings.Split(string(b), "\n")
+	if len(lines) > 0 && lines[len(lines)-1] != "" {
+		lines = lines[:len(lines)-1] // torn tail: the write died mid-line
+	}
+	for _, name := range lines {
+		if e, ok := s.byName[name]; ok {
+			s.gen++
+			e.gen = s.gen
+		}
+	}
+}
+
+// compactLog atomically rewrites the access log as one line per live
+// entry in recency order and reopens it for appending.
+func (s *Store) compactLog() error {
+	if s.log != nil {
+		_ = s.log.Close()
+		s.log = nil
+	}
+	live := make([]*entry, 0, len(s.entries))
+	for _, e := range s.entries {
+		live = append(live, e)
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].gen < live[j].gen })
+	var b strings.Builder
+	for _, e := range live {
+		b.WriteString(e.name)
+		b.WriteByte('\n')
+	}
+	tmp := filepath.Join(s.dir, logTmpName)
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, logName)); err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	f, err := os.OpenFile(filepath.Join(s.dir, logName), os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return fmt.Errorf("store: %w", err)
+	}
+	s.log = f
+	s.logLen = 0
+	return nil
+}
+
+// touchLocked bumps an entry to most-recent and appends the touch to the
+// log, compacting when the log has grown well past the live set.
+func (s *Store) touchLocked(e *entry) {
+	s.gen++
+	e.gen = s.gen
+	if s.log != nil {
+		if _, err := s.log.WriteString(e.name + "\n"); err == nil {
+			s.logLen++
+		}
+	}
+	if s.logLen > 8*len(s.entries)+64 {
+		_ = s.compactLog()
+	}
+}
+
+// Get returns the stored value for key. A missing, unreadable, or
+// corrupted entry is a miss (and a corrupted one is deleted); the caller
+// recomputes and Puts.
+func (s *Store) Get(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.entries[key]
+	if !ok {
+		s.misses.Add(1)
+		return nil, false
+	}
+	gotKey, val, _, err := readEntry(filepath.Join(s.dir, e.name))
+	if err != nil || gotKey != key {
+		// The file went bad underneath us (or a hash-prefix collision):
+		// drop it so the slot recomputes cleanly.
+		s.removeLocked(e, false)
+		s.misses.Add(1)
+		return nil, false
+	}
+	s.touchLocked(e)
+	s.hits.Add(1)
+	return val, true
+}
+
+// Put stores val under key. The write is atomic (temp file + fsync +
+// rename), idempotent (an existing entry is only touched — values are
+// content-addressed, so rewriting could change nothing), and best-effort:
+// an I/O failure counts on PutErrors and the value simply stays uncached.
+func (s *Store) Put(key string, val []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if e, ok := s.entries[key]; ok {
+		s.touchLocked(e)
+		return
+	}
+	name := entryName(key)
+	b := encodeEntry(key, val)
+	if err := s.writeAtomic(name, b); err != nil {
+		s.putErrors.Add(1)
+		return
+	}
+	s.gen++
+	e := &entry{key: key, name: name, size: int64(len(b)), gen: s.gen}
+	s.entries[key] = e
+	s.byName[name] = e
+	s.bytes += e.size
+	if s.log != nil {
+		if _, err := s.log.WriteString(name + "\n"); err == nil {
+			s.logLen++
+		}
+	}
+	s.puts.Add(1)
+	s.evictOverLocked(key)
+}
+
+// writeAtomic lands b at name via temp file, fsync, rename, and a
+// best-effort directory sync, so a crash at any point leaves either the
+// whole entry or a temp file Open will sweep.
+func (s *Store) writeAtomic(name string, b []byte) error {
+	f, err := os.CreateTemp(s.dir, tmpPrefix)
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if _, err := f.Write(b); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		_ = f.Close()
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, filepath.Join(s.dir, name)); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if d, err := os.Open(s.dir); err == nil {
+		_ = d.Sync()
+		_ = d.Close()
+	}
+	return nil
+}
+
+// evictOverLocked deletes least-recently-used entries until the byte
+// budget holds. keep, when non-empty, shields the entry just written —
+// unless it alone exceeds the whole budget, in which case it goes too
+// (a value bigger than the store must not wedge it permanently over).
+func (s *Store) evictOverLocked(keep string) {
+	for s.bytes > s.max && len(s.entries) > 0 {
+		var victim *entry
+		for _, e := range s.entries {
+			if e.key == keep && len(s.entries) > 1 {
+				continue
+			}
+			if victim == nil || e.gen < victim.gen {
+				victim = e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		s.removeLocked(victim, true)
+	}
+}
+
+// removeLocked deletes one entry's file and index state.
+func (s *Store) removeLocked(e *entry, evicted bool) {
+	_ = os.Remove(filepath.Join(s.dir, e.name))
+	delete(s.entries, e.key)
+	delete(s.byName, e.name)
+	s.bytes -= e.size
+	if evicted {
+		s.evictions.Add(1)
+		s.evictedBytes.Add(e.size)
+	}
+}
+
+// Len returns the number of live entries.
+func (s *Store) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.entries)
+}
+
+// Bytes returns the total size of live entry files.
+func (s *Store) Bytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// Dir returns the store's directory.
+func (s *Store) Dir() string { return s.dir }
+
+// Counters snapshots the store's accounting.
+func (s *Store) Counters() Counters {
+	s.mu.Lock()
+	entries, bytes := len(s.entries), s.bytes
+	s.mu.Unlock()
+	return Counters{
+		Entries:       entries,
+		Bytes:         bytes,
+		MaxBytes:      s.max,
+		Hits:          s.hits.Load(),
+		Misses:        s.misses.Load(),
+		Puts:          s.puts.Load(),
+		PutErrors:     s.putErrors.Load(),
+		Evictions:     s.evictions.Load(),
+		EvictedBytes:  s.evictedBytes.Load(),
+		DroppedOnOpen: s.droppedOnOpen.Load(),
+	}
+}
+
+// Close releases the access log handle. Durability never depends on
+// Close: every Put is already synced and renamed into place, which is
+// what makes kill -9 survivable.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.log == nil {
+		return nil
+	}
+	err := s.log.Close()
+	s.log = nil
+	return err
+}

@@ -1,0 +1,98 @@
+#!/bin/sh
+# store-smoke: black-box check of the persistent result store, run by
+# `make store-smoke` and the CI store-smoke job.
+#
+# Boots ndaserve with -store-dir, runs the full 92-cell quick sweep, kills
+# the process with SIGKILL (no shutdown path runs), restarts it over the
+# same store directory with -warm-from, and asserts:
+#   1. the warm job replays every cell from disk (tiers.disk == 92),
+#   2. the simulation counter never moves on the warmed process,
+#   3. the replayed sweep response is byte-identical to the cold run,
+#   4. SIGTERM still drains the restarted server cleanly.
+set -eu
+
+ADDR=127.0.0.1:18092
+BASE=http://$ADDR
+TMP=$(mktemp -d)
+STORE="$TMP/store"
+SERVER_PID=
+
+cleanup() {
+    [ -n "$SERVER_PID" ] && kill -9 "$SERVER_PID" 2>/dev/null || true
+    rm -rf "$TMP"
+}
+trap cleanup EXIT
+
+fail() {
+    echo "store-smoke: FAIL: $*" >&2
+    [ -f "$TMP/server.log" ] && sed 's/^/store-smoke:   server: /' "$TMP/server.log" >&2
+    exit 1
+}
+
+wait_up() {
+    i=0
+    until curl -fsS "$BASE/healthz" >/dev/null 2>&1; do
+        i=$((i + 1))
+        [ $i -ge 100 ] && fail "server did not come up"
+        kill -0 "$SERVER_PID" 2>/dev/null || fail "server exited early"
+        sleep 0.1
+    done
+}
+
+metric() { curl -fsS "$BASE/metrics" | awk -v m="$1" '$1==m{print $2}'; }
+
+go build -o "$TMP/ndaserve" ./cmd/ndaserve
+
+# The paper's 92-cell grid (23 workloads x 3 policies + in-order) under the
+# reduced quick methodology, so the cold pass takes seconds, not hours.
+REQ='{"policies":["OoO","Permissive","Permissive+BR"],"sampling":{"quick":true,"warm_insts":2000,"measure_insts":2000,"skip_insts":1000,"intervals":3}}'
+
+"$TMP/ndaserve" -addr "$ADDR" -store-dir "$STORE" -drain-timeout 30s >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+wait_up
+
+curl -fsS -X POST -d "$REQ" "$BASE/v1/sweep?wait=1" >"$TMP/cold.json" || fail "cold sweep failed"
+[ "$(metric nda_simulations_total)" = 92 ] || fail "cold sweep ran $(metric nda_simulations_total) simulations, want 92"
+[ "$(metric nda_store_puts_total)" = 92 ] || fail "store holds $(metric nda_store_puts_total) puts, want 92"
+echo "store-smoke: cold 92-cell sweep simulated and persisted"
+
+# kill -9: no drain, no Close, no flush. Durability must already be on disk.
+kill -9 "$SERVER_PID"
+wait "$SERVER_PID" 2>/dev/null || true
+SERVER_PID=
+
+printf '{"sweeps":[%s]}' "$REQ" >"$TMP/warm_req.json"
+"$TMP/ndaserve" -addr "$ADDR" -store-dir "$STORE" -warm-from "$TMP/warm_req.json" -drain-timeout 30s >"$TMP/server.log" 2>&1 &
+SERVER_PID=$!
+wait_up
+
+# The boot-time warm job is the restarted server's first job.
+i=0
+while :; do
+    curl -fsS "$BASE/v1/jobs/job-000001" >"$TMP/warmjob.json" || fail "warm job poll failed"
+    state=$(python3 -c 'import json,sys; print(json.load(open(sys.argv[1]))["state"])' "$TMP/warmjob.json")
+    [ "$state" = done ] && break
+    [ "$state" = failed ] && fail "warm job failed: $(cat "$TMP/warmjob.json")"
+    i=$((i + 1))
+    [ $i -ge 600 ] && fail "warm job stuck: $(cat "$TMP/warmjob.json")"
+    sleep 0.1
+done
+python3 -c '
+import json, sys
+st = json.load(open(sys.argv[1]))
+t = st["tiers"]
+assert t["disk"] == 92 and t["computed"] == 0, t
+' "$TMP/warmjob.json" || fail "warm job did not replay all 92 cells from disk: $(cat "$TMP/warmjob.json")"
+[ "$(metric nda_simulations_total)" = 0 ] || fail "warm replay simulated ($(metric nda_simulations_total) != 0)"
+echo "store-smoke: post-kill warm job replayed 92/92 cells from disk, zero simulations"
+
+curl -fsS -X POST -d "$REQ" "$BASE/v1/sweep?wait=1" >"$TMP/replay.json" || fail "replay sweep failed"
+cmp -s "$TMP/cold.json" "$TMP/replay.json" || fail "replayed sweep is not byte-identical to the pre-kill run"
+[ "$(metric nda_simulations_total)" = 0 ] || fail "replay sweep simulated"
+echo "store-smoke: replayed sweep byte-identical to the pre-kill response"
+
+kill -TERM "$SERVER_PID"
+wait "$SERVER_PID" || fail "server exited non-zero on SIGTERM"
+SERVER_PID=
+grep -q "drained cleanly" "$TMP/server.log" || fail "server did not drain cleanly"
+echo "store-smoke: PASS"
