@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke store-smoke fuzz-smoke vet ndavet contract-check lint fmt fmt-check ci
+.PHONY: build test race bench-smoke bench-json bench-trajectory golden-identity serve-smoke dist-smoke store-smoke load-smoke fuzz-smoke vet ndavet contract-check lint fmt fmt-check ci
 
 ## build: compile every package and command
 build:
@@ -65,6 +65,13 @@ dist-smoke:
 store-smoke:
 	sh scripts/store_smoke.sh
 
+## load-smoke: black-box check of multi-tenant serving — FIFO vs fair-share
+## byte identity on the same sweep, API-key auth, an ndaload warm-path run
+## gated on p99/fairness/per-tenant completion, a long-tail + cancel
+## contention phase over SSE, and a clean SIGTERM drain
+load-smoke:
+	sh scripts/load_smoke.sh
+
 ## fuzz-smoke: differential soundness fuzzing on a pinned seed range — the
 ## gadget analyzer's SAFE verdicts cross-checked against dynamic simulation
 ## on generated programs; any static-SAFE/dynamic-leak disagreement fails
@@ -103,4 +110,4 @@ fmt-check:
 		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
 
 ## ci: everything the CI pipeline runs, in one local command
-ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke store-smoke fuzz-smoke
+ci: build test lint fmt-check race bench-smoke bench-trajectory golden-identity serve-smoke dist-smoke store-smoke load-smoke fuzz-smoke

@@ -62,6 +62,7 @@ func main() {
 		simWorkers   = flag.Int("sim-workers", 0, "simulation goroutines per job (0 = one per CPU)")
 		cacheMax     = flag.Int("cache-max-entries", serve.DefaultCacheMaxEntries, "result-cache LRU capacity in entries; evictions show on /metrics")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "how long shutdown waits for jobs to drain before cancelling them")
+		tenantsFlag  = flag.String("tenants", "", "comma-separated API-key tenants name:key:weight[:rate[:burst[:inflight]]]; empty = single-tenant, no auth")
 
 		// Persistent store tiers.
 		storeDir      = flag.String("store-dir", "", "directory for the persistent result store (disk tier under the RAM cache); empty disables persistence")
@@ -96,6 +97,8 @@ func main() {
 		fatal(fmt.Errorf("-cache-max-entries %d invalid: want a positive capacity", *cacheMax))
 	}
 	urls, err := cliutil.WorkerURLs(*workers)
+	fatal(err)
+	tenants, err := cliutil.Tenants(*tenantsFlag)
 	fatal(err)
 
 	// Open the persistent tiers before anything can enqueue work. The two
@@ -167,8 +170,12 @@ func main() {
 		CacheMaxEntries: *cacheMax,
 		Fleet:           fleet,
 		Store:           diskStore,
+		Tenants:         tenants,
 	})
 	srv := &http.Server{Addr: *addr, Handler: serve.NewHandler(mgr)}
+	if len(tenants) > 0 {
+		fmt.Fprintf(os.Stderr, "ndaserve: fair-share scheduling across %d tenants (API keys required)\n", len(tenants))
+	}
 
 	if *warmFrom != "" {
 		req, err := loadWarmRequest(*warmFrom)

@@ -108,15 +108,18 @@ var DefaultContract = []Rule{
 
 	// Service shell.
 	{Path: "nda/internal/store", Class: Service},
+	{Path: "nda/internal/tenant", Class: Service},
 	{Path: "nda/internal/dist", Class: Service, Allow: []string{"nda/internal/par"}},
 	{Path: "nda/internal/serve", Class: Service, Allow: []string{
 		"nda/internal/attack", "nda/internal/core", "nda/internal/dist", "nda/internal/gadget",
 		"nda/internal/harness", "nda/internal/ooo", "nda/internal/par", "nda/internal/store",
-		"nda/internal/workload"}},
+		"nda/internal/tenant", "nda/internal/workload"}},
+	{Path: "nda/internal/load", Class: Service, Allow: []string{
+		"nda/internal/serve", "nda/internal/tenant"}},
 
 	// CLI shell.
 	{Path: "nda/internal/cliutil", Class: CLI, Allow: []string{
-		"nda/internal/dist", "nda/internal/workload"}},
+		"nda/internal/dist", "nda/internal/tenant", "nda/internal/workload"}},
 	{Path: "nda/cmd/ndasim", Class: CLI, Allow: []string{
 		"nda/internal/asm", "nda/internal/cliutil", "nda/internal/core", "nda/internal/inorder",
 		"nda/internal/isa", "nda/internal/ooo", "nda/internal/trace", "nda/internal/workload"}},
@@ -130,7 +133,10 @@ var DefaultContract = []Rule{
 		"nda/internal/analysis", "nda/internal/diffuzz", "nda/internal/gadget"}},
 	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{"nda/internal/analysis"}},
 	{Path: "nda/cmd/ndaserve", Class: CLI, Allow: []string{
-		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve", "nda/internal/store"}},
+		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve", "nda/internal/store",
+		"nda/internal/tenant"}},
+	{Path: "nda/cmd/ndaload", Class: CLI, Allow: []string{
+		"nda/internal/cliutil", "nda/internal/load", "nda/internal/serve", "nda/internal/tenant"}},
 	{Path: "nda/cmd/benchjson", Class: CLI},
 
 	// Documentation programs.

@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nda/internal/dist"
+	"nda/internal/tenant"
 	"nda/internal/workload"
 )
 
@@ -108,6 +109,36 @@ func PositiveDuration(name string, d time.Duration) (time.Duration, error) {
 		return 0, fmt.Errorf("%s %v invalid: want a positive duration", name, d)
 	}
 	return d, nil
+}
+
+// Tenants parses a -tenants flag: a comma-separated list of
+// name:key:weight[:rate[:burst[:inflight]]] entries. The empty string
+// means single-tenant mode and returns nil. Every entry is normalized and
+// validated (bounds, reserved names, duplicate names and keys) before any
+// server starts with it.
+func Tenants(csv string) ([]tenant.Tenant, error) {
+	return tenant.ParseList(csv)
+}
+
+// Rate validates a requests-per-second flag: 0 means unlimited, positive
+// finite rates pass through, everything else is an error.
+func Rate(v float64) (float64, error) {
+	if v < 0 || v != v || v > 1e9 { // v != v catches NaN without importing math
+		return 0, fmt.Errorf("rate %v invalid: want 0 (unlimited) or a positive requests/s", v)
+	}
+	return v, nil
+}
+
+// StreamMode validates a -stream flag: how a client observes job
+// completion. The empty string means "wait".
+func StreamMode(s string) (string, error) {
+	switch s {
+	case "", "wait":
+		return "wait", nil
+	case "poll", "sse":
+		return s, nil
+	}
+	return "", fmt.Errorf("stream mode %q invalid: want wait, poll, or sse", s)
 }
 
 // ExplainErr rewrites context cancellation errors into the message the

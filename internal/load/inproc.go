@@ -1,0 +1,33 @@
+package load
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+
+	"nda/internal/serve"
+)
+
+// StartLocal starts a fully-wired in-process ndaserve instance on an
+// ephemeral loopback port, for self-contained load generation (ndaload
+// -inproc) and tests. The generator still talks to it over real HTTP, so
+// an in-process run measures the same serving path as a remote one.
+// shutdown closes the listener and drains the manager.
+func StartLocal(cfg serve.Config) (base string, mgr *serve.Manager, shutdown func(), err error) {
+	m := serve.NewManager(cfg)
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		_ = m.Shutdown(context.Background())
+		return "", nil, nil, err
+	}
+	srv := &http.Server{Handler: serve.NewHandler(m)}
+	go func() { _ = srv.Serve(ln) }()
+	shutdown = func() {
+		_ = srv.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		_ = m.Shutdown(ctx)
+	}
+	return "http://" + ln.Addr().String(), m, shutdown, nil
+}

@@ -1,0 +1,215 @@
+package load
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Quantiles are latency percentiles in milliseconds.
+type Quantiles struct {
+	P50 float64 `json:"p50_ms"`
+	P95 float64 `json:"p95_ms"`
+	P99 float64 `json:"p99_ms"`
+	Max float64 `json:"max_ms"`
+}
+
+// quantile returns the q-th percentile (0 < q <= 1) of a sorted sample by
+// the nearest-rank method.
+func quantile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+
+func newQuantiles(lat []time.Duration) Quantiles {
+	if len(lat) == 0 {
+		return Quantiles{}
+	}
+	sorted := append([]time.Duration(nil), lat...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	return Quantiles{
+		P50: ms(quantile(sorted, 0.50)),
+		P95: ms(quantile(sorted, 0.95)),
+		P99: ms(quantile(sorted, 0.99)),
+		Max: ms(sorted[len(sorted)-1]),
+	}
+}
+
+// Jain computes Jain's fairness index over per-tenant allocations:
+// (Σx)² / (n·Σx²). 1.0 is perfectly fair; 1/n is one tenant taking
+// everything. Empty or all-zero inputs report 1 (nothing was unfair).
+func Jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumsq float64
+	for _, x := range xs {
+		sum += x
+		sumsq += x * x
+	}
+	if sumsq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumsq)
+}
+
+// TenantReport is one tenant's measured share of a run.
+type TenantReport struct {
+	Name       string    `json:"name"`
+	Mix        Mix       `json:"mix"`
+	Weight     int       `json:"weight"`
+	Requests   int64     `json:"requests"`
+	Completed  int64     `json:"completed"`
+	Cancelled  int64     `json:"cancelled,omitempty"`
+	Rejected   int64     `json:"rejected,omitempty"` // queue-full 429s
+	Quota      int64     `json:"quota_429,omitempty"`
+	Errors     int64     `json:"errors,omitempty"`
+	Lagged     int64     `json:"lagged,omitempty"` // open-loop arrivals dropped client-side
+	Throughput float64   `json:"throughput_rps"`   // completions per second
+	Latency    Quantiles `json:"latency"`
+	avg        time.Duration
+}
+
+// Report is one load run's result.
+type Report struct {
+	DurationSec  float64        `json:"duration_sec"`
+	Await        Await          `json:"await"`
+	Requests     int64          `json:"requests"`
+	Completed    int64          `json:"completed"`
+	Rejected     int64          `json:"rejected"`
+	Errors       int64          `json:"errors"`
+	Throughput   float64        `json:"throughput_rps"`
+	Latency      Quantiles      `json:"latency"`
+	Jain         float64        `json:"jain"`          // over raw per-tenant throughput
+	JainWeighted float64        `json:"jain_weighted"` // over throughput normalized by weight
+	Tenants      []TenantReport `json:"tenants"`
+}
+
+// buildReport folds the per-tenant collectors into the run report.
+func buildReport(cfg Config, cols []*collector, elapsed time.Duration) *Report {
+	secs := elapsed.Seconds()
+	rep := &Report{DurationSec: secs, Await: cfg.Await}
+	var all []time.Duration
+	var raw, norm []float64
+	for i, l := range cfg.Loads {
+		c := cols[i]
+		c.mu.Lock()
+		tr := TenantReport{
+			Name: l.Name, Mix: l.Mix, Weight: l.Weight,
+			Requests: c.requests, Completed: c.completed, Cancelled: c.cancelled,
+			Rejected: c.rejected, Quota: c.quota, Errors: c.errs, Lagged: c.lagged,
+			Latency: newQuantiles(c.lat),
+		}
+		if secs > 0 {
+			tr.Throughput = float64(c.completed) / secs
+		}
+		if c.completed > 0 {
+			tr.avg = c.latSum / time.Duration(c.completed)
+		}
+		all = append(all, c.lat...)
+		c.mu.Unlock()
+
+		rep.Requests += tr.Requests
+		rep.Completed += tr.Completed
+		rep.Rejected += tr.Rejected + tr.Quota
+		rep.Errors += tr.Errors
+		raw = append(raw, tr.Throughput)
+		w := tr.Weight
+		if w < 1 {
+			w = 1
+		}
+		norm = append(norm, tr.Throughput/float64(w))
+		rep.Tenants = append(rep.Tenants, tr)
+	}
+	if secs > 0 {
+		rep.Throughput = float64(rep.Completed) / secs
+	}
+	rep.Latency = newQuantiles(all)
+	rep.Jain = Jain(raw)
+	rep.JainWeighted = Jain(norm)
+	return rep
+}
+
+// SatPoint is one step of the saturation search.
+type SatPoint struct {
+	Workers    int     `json:"workers"`
+	Throughput float64 `json:"throughput_rps"`
+}
+
+// Saturation is the result of the doubling search: the measured
+// throughput curve and the knee where adding concurrency stopped paying.
+type Saturation struct {
+	Points     []SatPoint `json:"points"`
+	Workers    int        `json:"workers"`        // concurrency at the knee
+	Throughput float64    `json:"throughput_rps"` // saturation throughput
+}
+
+// Saturate finds the server's saturation throughput for cfg's first load
+// by doubling its closed-loop worker count until throughput stops
+// improving by more than 5% (or maxWorkers is reached). Each step runs for
+// cfg.Duration.
+func Saturate(ctx context.Context, cfg Config, maxWorkers int) (*Saturation, error) {
+	if len(cfg.Loads) != 1 {
+		return nil, fmt.Errorf("load: saturation search wants exactly one tenant load, got %d", len(cfg.Loads))
+	}
+	if maxWorkers < 1 {
+		maxWorkers = 64
+	}
+	cfg.Loads = append([]TenantLoad(nil), cfg.Loads...)
+	cfg.Loads[0].Rate = 0 // closed loop: offered load is the worker count
+	sat := &Saturation{}
+	for w := 1; w <= maxWorkers; w *= 2 {
+		cfg.Loads[0].Workers = w
+		rep, err := Run(ctx, cfg)
+		if err != nil {
+			return nil, err
+		}
+		sat.Points = append(sat.Points, SatPoint{Workers: w, Throughput: rep.Throughput})
+		if rep.Throughput > sat.Throughput {
+			if sat.Throughput > 0 && rep.Throughput < sat.Throughput*1.05 {
+				sat.Workers, sat.Throughput = w, rep.Throughput
+				break
+			}
+			sat.Workers, sat.Throughput = w, rep.Throughput
+		} else {
+			break
+		}
+		if ctx.Err() != nil {
+			break
+		}
+	}
+	return sat, nil
+}
+
+// BenchLine renders the report as one `go test -bench`-style result line,
+// which cmd/benchjson parses into the BENCH_<n>.json trajectory format:
+//
+//	BenchmarkLoadHot 812 2400000 ns/op 1.90 p50-ms 3.10 p95-ms 4.00 p99-ms 270.6 req/s 1.000 jain
+//
+// Iterations are completed requests, ns/op the mean end-to-end latency.
+// No B/op or allocs/op are emitted — the trajectory gate reads them as a
+// pinned-at-zero baseline, so the load lines gate on presence, not noise.
+func BenchLine(name string, r *Report) string {
+	var avg time.Duration
+	if r.Completed > 0 {
+		var sum time.Duration
+		for _, tr := range r.Tenants {
+			sum += tr.avg * time.Duration(tr.Completed)
+		}
+		avg = sum / time.Duration(r.Completed)
+	}
+	return fmt.Sprintf("BenchmarkLoad%s %d %d ns/op %.2f p50-ms %.2f p95-ms %.2f p99-ms %.1f req/s %.3f jain",
+		name, r.Completed, avg.Nanoseconds(), r.Latency.P50, r.Latency.P95, r.Latency.P99, r.Throughput, r.JainWeighted)
+}

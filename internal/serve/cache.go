@@ -104,6 +104,17 @@ func (c *Cache) Bytes() int64 {
 	return c.bytes
 }
 
+// Contains reports whether key is resident and ready (a guaranteed RAM
+// hit) without touching recency or joining a flight. In-flight entries
+// report false: a caller probing for admission cannot count on a
+// computation that may still fail or be cancelled.
+func (c *Cache) Contains(key string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.m[key]
+	return ok && e.elem != nil
+}
+
 // Do returns the cached value for key, joining an in-flight computation if
 // one exists, or computes it by calling compute. hit reports whether the
 // value was served without running compute in this call — a warm cache

@@ -91,7 +91,7 @@ func (r CellRequest) task() (*cellTask, error) {
 			}
 		}
 	case "gadget":
-		builtins, err := gadget.Builtins()
+		builtins, err := cachedBuiltins()
 		if err != nil {
 			return nil, err
 		}

@@ -7,6 +7,10 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
+	"strings"
+
+	"nda/internal/tenant"
 )
 
 // NewHandler builds the service's HTTP API on top of a manager:
@@ -30,18 +34,18 @@ import (
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
-		submit(m, w, r, func(req SweepRequest) (*Job, error) { return m.SubmitSweep(req) })
+		submit(m, w, r, func(req SweepRequest, o SubmitOpts) (*Job, error) { return m.SubmitSweep(req, o) })
 	})
 	mux.HandleFunc("POST /v1/attack", func(w http.ResponseWriter, r *http.Request) {
-		submit(m, w, r, func(req AttackRequest) (*Job, error) { return m.SubmitAttack(req) })
+		submit(m, w, r, func(req AttackRequest, o SubmitOpts) (*Job, error) { return m.SubmitAttack(req, o) })
 	})
 	mux.HandleFunc("POST /v1/gadgets", func(w http.ResponseWriter, r *http.Request) {
-		submit(m, w, r, func(req GadgetsRequest) (*Job, error) { return m.SubmitGadgets(req) })
+		submit(m, w, r, func(req GadgetsRequest, o SubmitOpts) (*Job, error) { return m.SubmitGadgets(req, o) })
 	})
 	// Cache warming: precompute a request set so later submissions are
 	// tier hits. An empty body warms the standard figure set.
 	mux.HandleFunc("POST /v1/warm", func(w http.ResponseWriter, r *http.Request) {
-		submit(m, w, r, func(req WarmRequest) (*Job, error) { return m.SubmitWarm(req) })
+		submit(m, w, r, func(req WarmRequest, o SubmitOpts) (*Job, error) { return m.SubmitWarm(req, o) })
 	})
 	// The fleet's work unit: one cell, evaluated synchronously through
 	// this worker's cache, bypassing the job queue (coordinators bound
@@ -82,7 +86,17 @@ func NewHandler(m *Manager) http.Handler {
 			writeError(w, http.StatusNotFound, "unknown job")
 			return
 		}
-		writeJSON(w, http.StatusOK, j.Status())
+		if s := r.URL.Query().Get("stream"); s == "1" || s == "true" {
+			m.serveStream(w, r, j)
+			return
+		}
+		// Polls between cell completions share one cached snapshot
+		// instead of re-marshalling the status on every request.
+		b := j.StatusJSON()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusOK)
+		_, _ = w.Write(b)
+		_, _ = w.Write([]byte("\n"))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
 		j, ok := m.Get(r.PathValue("id"))
@@ -113,9 +127,51 @@ func NewHandler(m *Manager) http.Handler {
 // of names and knobs.
 const maxBodyBytes = 1 << 20
 
+// authTenant resolves the submission's tenant from the request's API key
+// (Authorization: Bearer or X-API-Key). On a single-tenant deployment the
+// implicit local tenant is used and no key is required. Writes the 401
+// itself and reports false when authentication fails.
+func authTenant(m *Manager, w http.ResponseWriter, r *http.Request) (string, bool) {
+	if !m.Tenanted() {
+		return "", true
+	}
+	key := r.Header.Get("X-API-Key")
+	if key == "" {
+		if ah := r.Header.Get("Authorization"); strings.HasPrefix(ah, "Bearer ") {
+			key = strings.TrimPrefix(ah, "Bearer ")
+		}
+	}
+	if key == "" {
+		writeError(w, http.StatusUnauthorized, "missing API key: pass Authorization: Bearer <key> or X-API-Key")
+		return "", false
+	}
+	name, ok := m.TenantForKey(key)
+	if !ok {
+		writeError(w, http.StatusUnauthorized, "unknown API key")
+		return "", false
+	}
+	return name, true
+}
+
 // submit decodes a typed request body, enqueues it, and answers 202 (or,
 // with ?wait=1, blocks and answers with the result itself).
-func submit[R any](m *Manager, w http.ResponseWriter, r *http.Request, enqueue func(R) (*Job, error)) {
+func submit[R any](m *Manager, w http.ResponseWriter, r *http.Request, enqueue func(R, SubmitOpts) (*Job, error)) {
+	tenantName, ok := authTenant(m, w, r)
+	if !ok {
+		return
+	}
+	wait := r.URL.Query().Get("wait")
+	waiting := wait == "1" || wait == "true"
+	// Scheduling class: explicit ?class= wins; otherwise blocking
+	// submissions default to interactive, fire-and-forget ones to batch.
+	class, err := tenant.ParseClass(r.URL.Query().Get("class"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if r.URL.Query().Get("class") == "" && waiting {
+		class = tenant.Interactive
+	}
 	var req R
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
 	dec.DisallowUnknownFields()
@@ -124,8 +180,15 @@ func submit[R any](m *Manager, w http.ResponseWriter, r *http.Request, enqueue f
 		writeError(w, http.StatusBadRequest, "bad request body: "+err.Error())
 		return
 	}
-	j, err := enqueue(req)
+	j, err := enqueue(req, SubmitOpts{Tenant: tenantName, Class: class})
+	var quotaErr *tenant.QuotaError
 	switch {
+	case errors.As(err, &quotaErr):
+		// Quota exhaustion tells the client exactly when to come back.
+		secs := int(quotaErr.RetryAfter.Seconds()) + 1
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		writeError(w, http.StatusTooManyRequests, err.Error())
+		return
 	case errors.Is(err, ErrQueueFull):
 		writeError(w, http.StatusTooManyRequests, err.Error())
 		return
@@ -136,7 +199,7 @@ func submit[R any](m *Manager, w http.ResponseWriter, r *http.Request, enqueue f
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if wait := r.URL.Query().Get("wait"); wait == "1" || wait == "true" {
+	if waiting {
 		if err := j.Wait(r.Context()); err != nil {
 			// The client went away; the job keeps running for later polls.
 			writeError(w, http.StatusRequestTimeout, "wait aborted: "+err.Error())

@@ -5,6 +5,8 @@ import (
 	"strings"
 	"sync/atomic"
 	"time"
+
+	"nda/internal/tenant"
 )
 
 // Metrics is the service's counter block, exposed as Prometheus-style text
@@ -15,10 +17,15 @@ type Metrics struct {
 
 	JobsQueued    atomic.Int64 // jobs accepted into the queue (lifetime)
 	JobsRejected  atomic.Int64 // submissions bounced on a full queue (429s)
+	QuotaRejected atomic.Int64 // submissions bounced by a tenant rate quota (429s)
 	JobsRunning   atomic.Int64 // jobs currently executing (gauge)
 	JobsDone      atomic.Int64 // jobs finished successfully
 	JobsFailed    atomic.Int64 // jobs finished with an error
 	JobsCancelled atomic.Int64 // jobs ended by cancellation or timeout
+
+	// AdmissionStoreServed counts jobs accepted past a saturated queue
+	// because every cell was already resolvable from the RAM/disk tiers.
+	AdmissionStoreServed atomic.Int64
 
 	CacheHits         atomic.Int64 // cells served without leaving this process (RAM or disk)
 	CacheMisses       atomic.Int64 // cells that had to simulate or dispatch
@@ -57,6 +64,8 @@ func (m *Metrics) Render() string {
 	}
 	counter("nda_jobs_queued_total", "jobs accepted into the queue", m.JobsQueued.Load())
 	counter("nda_jobs_rejected_total", "submissions rejected because the queue was full", m.JobsRejected.Load())
+	counter("nda_jobs_quota_rejected_total", "submissions rejected by a tenant rate quota", m.QuotaRejected.Load())
+	counter("nda_admission_store_served_total", "jobs admitted past a saturated queue because the store held every cell", m.AdmissionStoreServed.Load())
 	counter("nda_jobs_done_total", "jobs finished successfully", m.JobsDone.Load())
 	counter("nda_jobs_failed_total", "jobs finished with an error", m.JobsFailed.Load())
 	counter("nda_jobs_cancelled_total", "jobs ended by cancellation or timeout", m.JobsCancelled.Load())
@@ -104,6 +113,28 @@ func (m *Manager) RenderMetrics() string {
 	}
 	if f := m.cfg.Fleet; f != nil {
 		b.WriteString(f.RenderMetrics())
+	}
+	if stats := m.TenantStats(); len(stats) > 0 {
+		series := func(name, help, typ string, v func(tenant string) int64) {
+			fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", name, help, name, typ)
+			for _, s := range stats {
+				fmt.Fprintf(&b, "%s{tenant=%q} %d\n", name, s.Name, v(s.Name))
+			}
+		}
+		byName := make(map[string]tenant.Stats, len(stats))
+		for _, s := range stats {
+			byName[s.Name] = s
+		}
+		series("nda_tenant_queued", "jobs waiting in the fair-share queue per tenant", "gauge",
+			func(t string) int64 { return int64(byName[t].Queued) })
+		series("nda_tenant_running", "jobs currently dispatched per tenant", "gauge",
+			func(t string) int64 { return int64(byName[t].Running) })
+		series("nda_tenant_admitted_total", "submissions admitted past the rate quota per tenant", "counter",
+			func(t string) int64 { return int64(byName[t].Admitted) })
+		series("nda_tenant_dispatched_total", "jobs dispatched to workers per tenant", "counter",
+			func(t string) int64 { return int64(byName[t].Dispatched) })
+		series("nda_tenant_dropped_total", "submissions dropped by quota or queue bound per tenant", "counter",
+			func(t string) int64 { return int64(byName[t].Dropped) })
 	}
 	return b.String()
 }

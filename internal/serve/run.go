@@ -4,6 +4,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"sync"
 
 	"nda/internal/attack"
 	"nda/internal/core"
@@ -13,6 +14,12 @@ import (
 	"nda/internal/par"
 	"nda/internal/workload"
 )
+
+// cachedBuiltins memoizes gadget.Builtins for the life of the process:
+// assembling every builtin attack and workload program costs far more than
+// serving a cache-resolved census cell, and the set is immutable (census
+// goroutines already share Input values read-only, see gadget.BuildReport).
+var cachedBuiltins = sync.OnceValues(gadget.Builtins)
 
 // This file is where jobs meet the cache: every runner decomposes its
 // request into independent cells, fans the cells out over the par pool,
@@ -59,6 +66,63 @@ type gadgetKey struct {
 	Window  int    `json:"window"`
 }
 
+// sweepCellID builds a sweep cell's cache key. Workers is zeroed before
+// hashing because parallelism must never change identity. Shared by the
+// measure path and the admission probe so the two can never drift.
+func sweepCellID(wl string, pol core.Policy, inOrder bool, cfg harness.Config) string {
+	cfg.Workers = 0
+	return Key("sweep-cell", sweepCellKey{Workload: wl, InOrder: inOrder, Policy: pol, Config: cfg})
+}
+
+// attackCellID builds an attack-matrix cell's cache key.
+func attackCellID(kind attack.Kind, pol core.Policy, inOrder bool, params ooo.Params) string {
+	return Key("attack-cell", attackCellKey{Attack: kind, InOrder: inOrder, Policy: pol, Params: params})
+}
+
+// gadgetCellID builds a gadget-census entry's cache key.
+func gadgetCellID(program string) string {
+	return Key("gadget", gadgetKey{Program: program, Window: gadget.DefaultWindow})
+}
+
+// cellKeys enumerates every cache key the sweep will resolve — the
+// store-aware admission probe: if all of them are already resident, the
+// job needs no simulation.
+func (t *sweepTask) cellKeys() []string {
+	keys := make([]string, 0, len(t.specs)*(len(t.pols)+1))
+	for _, spec := range t.specs {
+		for _, pol := range t.pols {
+			keys = append(keys, sweepCellID(spec.Name, pol, false, t.cfg))
+		}
+		if t.inOrder {
+			keys = append(keys, sweepCellID(spec.Name, core.Policy{}, true, t.cfg))
+		}
+	}
+	return keys
+}
+
+// cellKeys enumerates the attack matrix's cache keys.
+func (t *attackTask) cellKeys(params ooo.Params) []string {
+	keys := make([]string, 0, len(t.kinds)*(len(t.pols)+1))
+	for _, kind := range t.kinds {
+		for _, pol := range t.pols {
+			keys = append(keys, attackCellID(kind, pol, false, params))
+		}
+		if t.inOrder {
+			keys = append(keys, attackCellID(kind, core.Policy{}, true, params))
+		}
+	}
+	return keys
+}
+
+// cellKeys enumerates the census's cache keys.
+func (t *gadgetsTask) cellKeys() []string {
+	keys := make([]string, 0, len(t.ins))
+	for _, in := range t.ins {
+		keys = append(keys, gadgetCellID(in.name))
+	}
+	return keys
+}
+
 // runSweep evaluates the request's (workload, config) grid cell by cell
 // through the cache and assembles the same Sweep table harness.RunSweep
 // builds, so served results are interchangeable with CLI results.
@@ -80,6 +144,7 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 	// Add, not Store: a warm job runs several sub-requests through this
 	// runner and accumulates one combined progress total.
 	j.total.Add(int64(len(cells)))
+	j.bump()
 
 	// Cells saturate the pool on their own; per-sample fan-out inside a
 	// checkpointed cell stays serial, exactly as in harness.RunSweep.
@@ -95,6 +160,7 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 		}
 		results[i] = mres
 		j.done.Add(1)
+		j.bump()
 		return nil
 	})
 	if err != nil {
@@ -142,9 +208,7 @@ func (m *Manager) runSweep(ctx context.Context, j *Job, t *sweepTask) (any, erro
 // sampling spec) per process; in fleet mode the series lives and is
 // reused on whichever workers simulate that workload's cells.
 func (m *Manager) measureCell(ctx context.Context, j *Job, spec workload.Spec, pol core.Policy, inOrder bool, cfg harness.Config, sampling SamplingSpec) (*harness.Measurement, error) {
-	keyCfg := cfg
-	keyCfg.Workers = 0
-	key := Key("sweep-cell", sweepCellKey{Workload: spec.Name, InOrder: inOrder, Policy: pol, Config: keyCfg})
+	key := sweepCellID(spec.Name, pol, inOrder, cfg)
 	shared := false
 	decode := func(b []byte) (any, error) {
 		var mres harness.Measurement
@@ -224,6 +288,7 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 	}
 	cells := make([]attack.Cell, len(t.kinds)*perKind)
 	j.total.Add(int64(len(cells)))
+	j.bump()
 
 	err := par.RunCtx(ctx, len(cells), m.simWorkers(), func(i int) error {
 		kind := t.kinds[i/perKind]
@@ -243,6 +308,7 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 		}
 		cells[i] = cell
 		j.done.Add(1)
+		j.bump()
 		return nil
 	})
 	if err != nil {
@@ -261,7 +327,7 @@ func (m *Manager) runAttack(ctx context.Context, j *Job, t *attackTask) (any, er
 // attackCell resolves one (attack, policy) outcome through the cache,
 // simulating locally or dispatching to the fleet on a miss.
 func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol core.Policy, inOrder bool) (*attack.Outcome, error) {
-	key := Key("attack-cell", attackCellKey{Attack: kind, InOrder: inOrder, Policy: pol, Params: m.cfg.Params})
+	key := attackCellID(kind, pol, inOrder, m.cfg.Params)
 	shared := false
 	decode := func(b []byte) (any, error) {
 		var out attack.Outcome
@@ -307,7 +373,7 @@ func (m *Manager) attackCell(ctx context.Context, j *Job, kind attack.Kind, pol 
 // runGadgets builds the static census for the requested programs, one
 // cache-resolved ProgramReport per program.
 func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, error) {
-	builtins, err := gadget.Builtins()
+	builtins, err := cachedBuiltins()
 	if err != nil {
 		return nil, err
 	}
@@ -316,6 +382,7 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 		byName[in.Name] = in
 	}
 	j.total.Add(int64(len(t.ins)))
+	j.bump()
 
 	report := &gadget.Report{Window: gadget.DefaultWindow, Programs: make([]gadget.ProgramReport, len(t.ins))}
 	err = par.RunCtx(ctx, len(t.ins), m.simWorkers(), func(i int) error {
@@ -329,6 +396,7 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 		}
 		report.Programs[i] = pr
 		j.done.Add(1)
+		j.bump()
 		return nil
 	})
 	if err != nil {
@@ -340,7 +408,7 @@ func (m *Manager) runGadgets(ctx context.Context, j *Job, t *gadgetsTask) (any, 
 // gadgetCell resolves one program's census entry through the cache,
 // analyzing locally or dispatching to the fleet on a miss.
 func (m *Manager) gadgetCell(ctx context.Context, j *Job, in gadget.Input) (gadget.ProgramReport, error) {
-	key := Key("gadget", gadgetKey{Program: in.Name, Window: gadget.DefaultWindow})
+	key := gadgetCellID(in.Name)
 	shared := false
 	decode := func(b []byte) (any, error) {
 		var pr gadget.ProgramReport

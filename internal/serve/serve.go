@@ -24,11 +24,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"nda/internal/dist"
 	"nda/internal/ooo"
 	"nda/internal/par"
 	"nda/internal/store"
+	"nda/internal/tenant"
 )
 
 // Sentinel errors the HTTP layer maps onto status codes.
@@ -55,8 +57,10 @@ const (
 // and accessed through snapshot methods so HTTP handlers can read a job
 // the workers are still mutating.
 type Job struct {
-	id   string
-	kind string
+	id     string
+	kind   string
+	tenant string       // accounting owner; tenant.LocalName when untenanted
+	class  tenant.Class // scheduling class the job was submitted under
 
 	// Progress counters, written by cell simulations as they finish. The
 	// tier counters split every resolved cell by the level that served it;
@@ -64,12 +68,21 @@ type Job struct {
 	total, done                                 atomic.Int64
 	tierRAM, tierDisk, tierShared, tierComputed atomic.Int64
 
+	// version increments on every observable status change (cell done,
+	// state transition, worker attempt). It invalidates the cached status
+	// snapshot and numbers SSE events for Last-Event-ID resume.
+	version    atomic.Int64
+	snapBuilds atomic.Int64 // snapshots actually marshalled (test observability)
+
 	mu        sync.Mutex
 	state     JobState
 	errMsg    string
 	result    []byte // canonical JSON, set once on success
 	cancel    context.CancelFunc
 	perWorker map[string]*WorkerCells // distributed jobs: per-worker cell counts
+	snap      []byte                  // cached marshalled Status, valid while snapVer == version
+	snapVer   int64
+	subs      map[chan struct{}]struct{} // SSE subscribers, notified (latest-wins) per bump
 
 	doneCh chan struct{} // closed when the job reaches a terminal state
 
@@ -95,7 +108,6 @@ func (j *Job) noteDispatch(stat dist.Stat) {
 		return
 	}
 	j.mu.Lock()
-	defer j.mu.Unlock()
 	if j.perWorker == nil {
 		j.perWorker = make(map[string]*WorkerCells)
 	}
@@ -116,6 +128,49 @@ func (j *Job) noteDispatch(stat dist.Stat) {
 			wc.Hedged++
 		}
 	}
+	j.mu.Unlock()
+	j.bump()
+}
+
+// bump marks the job's status changed: the next StatusJSON rebuilds its
+// snapshot, and every SSE subscriber is poked (non-blocking, latest-wins —
+// a slow consumer coalesces updates instead of backing up the fold path).
+func (j *Job) bump() {
+	j.version.Add(1)
+	j.mu.Lock()
+	j.notifyLocked()
+	j.mu.Unlock()
+}
+
+// notifyLocked pokes every subscriber without blocking. Called with j.mu
+// held. Each subscriber channel has capacity 1: a pending poke already
+// says "re-read the snapshot", so dropping further pokes loses nothing.
+func (j *Job) notifyLocked() {
+	for ch := range j.subs {
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
+}
+
+// subscribe registers an SSE consumer's wake-up channel.
+func (j *Job) subscribe() chan struct{} {
+	ch := make(chan struct{}, 1)
+	j.mu.Lock()
+	if j.subs == nil {
+		j.subs = make(map[chan struct{}]struct{})
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return ch
+}
+
+// unsubscribe removes a consumer registered with subscribe.
+func (j *Job) unsubscribe(ch chan struct{}) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
 }
 
 // ID returns the job's identifier.
@@ -136,11 +191,16 @@ type TierCounts struct {
 // carries no wall-clock fields: identical requests must produce identical
 // response bytes whether they simulated or hit the cache.
 type Status struct {
-	ID         string   `json:"id"`
-	Kind       string   `json:"kind"`
-	State      JobState `json:"state"`
-	DoneCells  int64    `json:"done_cells"`
-	TotalCells int64    `json:"total_cells"`
+	ID   string `json:"id"`
+	Kind string `json:"kind"`
+	// Tenant and Class appear only on tenanted deployments (jobs owned by
+	// the implicit local tenant omit both), so single-tenant responses are
+	// byte-identical to earlier releases.
+	Tenant     string       `json:"tenant,omitempty"`
+	Class      tenant.Class `json:"class,omitempty"`
+	State      JobState     `json:"state"`
+	DoneCells  int64        `json:"done_cells"`
+	TotalCells int64        `json:"total_cells"`
 	// CacheHits counts cells served without work leaving this process
 	// (RAM + disk); CacheMisses counts the rest (fleet-shared + computed).
 	// Tiers carries the full four-way breakdown.
@@ -157,6 +217,37 @@ type Status struct {
 func (j *Job) Status() Status {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	return j.statusLocked()
+}
+
+// StatusJSON returns the job's status marshalled once per version: polls
+// and SSE events between cell completions share the same cached bytes
+// instead of re-marshalling the full per-worker/tier breakdown each time.
+// The returned slice must not be modified.
+func (j *Job) StatusJSON() []byte {
+	ver := j.version.Load()
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.snap != nil && j.snapVer == ver {
+		return j.snap
+	}
+	// Counters may advance between the version load and this marshal; the
+	// snapshot is then newer than ver and simply rebuilt again on the next
+	// poll after the matching bump — never stale.
+	b, err := json.Marshal(j.statusLocked())
+	if err != nil { // Status has no unmarshalable fields
+		return []byte("{}")
+	}
+	j.snap, j.snapVer = b, ver
+	j.snapBuilds.Add(1)
+	return b
+}
+
+// Version returns the job's status version (SSE event IDs).
+func (j *Job) Version() int64 { return j.version.Load() }
+
+// statusLocked builds the snapshot. Called with j.mu held.
+func (j *Job) statusLocked() Status {
 	tiers := TierCounts{
 		RAM:         j.tierRAM.Load(),
 		Disk:        j.tierDisk.Load(),
@@ -173,6 +264,10 @@ func (j *Job) Status() Status {
 		CacheMisses: tiers.FleetShared + tiers.Computed,
 		Tiers:       tiers,
 		Error:       j.errMsg,
+	}
+	if j.tenant != "" && j.tenant != tenant.LocalName {
+		st.Tenant = j.tenant
+		st.Class = j.class
 	}
 	for _, wc := range j.perWorker {
 		st.Workers = append(st.Workers, *wc)
@@ -231,6 +326,18 @@ type Config struct {
 	// stays in front, so repeated and overlapping requests are still
 	// served locally without touching the fleet.
 	Fleet *dist.Coordinator
+	// Tenants declares the service's API-key tenants. Empty means
+	// single-tenant: every submission runs as the implicit local tenant
+	// and the fair-share scheduler degenerates to FIFO. An invalid list
+	// panics in NewManager — CLI input is validated by cliutil first.
+	Tenants []tenant.Tenant
+	// StreamHeartbeat is the SSE keep-alive interval on
+	// GET /v1/jobs/{id}?stream=1. 0 means 15s.
+	StreamHeartbeat time.Duration
+	// AdmissionBypass bounds how many store-served jobs may run
+	// concurrently outside the worker pool when the queue is saturated
+	// (store-aware admission). 0 means 2; negative disables the bypass.
+	AdmissionBypass int
 }
 
 // Manager owns the queue, the workers, and the result cache.
@@ -242,12 +349,17 @@ type Manager struct {
 	baseCtx    context.Context
 	baseCancel context.CancelFunc
 
-	mu       sync.Mutex
-	draining bool
-	jobs     map[string]*Job
-	order    []string // job IDs in submission order
+	// mu guards the scheduler, the job registry, and draining; cond wakes
+	// workers when a job is enqueued or an in-flight slot frees up. Lock
+	// order is always m.mu before j.mu.
+	mu        sync.Mutex
+	cond      *sync.Cond
+	draining  bool
+	bypassing int // store-admission jobs currently running outside the pool
+	jobs      map[string]*Job
+	order     []string // job IDs in submission order
 
-	queue  chan *Job
+	sched  *tenant.Scheduler
 	wg     sync.WaitGroup
 	nextID atomic.Int64
 }
@@ -263,6 +375,9 @@ func NewManager(cfg Config) *Manager {
 	if cfg.Params == (ooo.Params{}) {
 		cfg.Params = ooo.DefaultParams()
 	}
+	if cfg.AdmissionBypass == 0 {
+		cfg.AdmissionBypass = 2
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	m := &Manager{
 		cfg:        cfg,
@@ -270,8 +385,9 @@ func NewManager(cfg Config) *Manager {
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		jobs:       make(map[string]*Job),
-		queue:      make(chan *Job, cfg.QueueDepth),
+		sched:      tenant.NewScheduler(cfg.Tenants, cfg.QueueDepth),
 	}
+	m.cond = sync.NewCond(&m.mu)
 	m.cache = NewCache(cfg.CacheMaxEntries, func(sizeBytes int) {
 		m.metrics.CacheEvictions.Add(1)
 		m.metrics.CacheEvictedBytes.Add(int64(sizeBytes))
@@ -329,92 +445,232 @@ func (m *Manager) Jobs() []Status {
 	return out
 }
 
+// SubmitOpts attributes a submission to a tenant and scheduling class.
+// The zero value — the implicit local tenant, batch class — reproduces the
+// pre-tenancy behavior exactly.
+type SubmitOpts struct {
+	Tenant string       // accounting owner; "" means tenant.LocalName
+	Class  tenant.Class // scheduling class; "" means tenant.Batch
+}
+
+func resolveOpts(opts []SubmitOpts) SubmitOpts {
+	var o SubmitOpts
+	if len(opts) > 0 {
+		o = opts[0]
+	}
+	if o.Tenant == "" {
+		o.Tenant = tenant.LocalName
+	}
+	if o.Class == "" {
+		o.Class = tenant.Batch
+	}
+	return o
+}
+
 // SubmitSweep validates and enqueues a sweep job.
-func (m *Manager) SubmitSweep(req SweepRequest) (*Job, error) {
+func (m *Manager) SubmitSweep(req SweepRequest, opts ...SubmitOpts) (*Job, error) {
 	t, err := req.task()
 	if err != nil {
 		return nil, err
 	}
-	return m.enqueue("sweep", func(ctx context.Context, j *Job) (any, error) {
+	return m.enqueueAs("sweep", resolveOpts(opts), t.cellKeys(), func(ctx context.Context, j *Job) (any, error) {
 		return m.runSweep(ctx, j, t)
 	})
 }
 
 // SubmitAttack validates and enqueues an attack-matrix job.
-func (m *Manager) SubmitAttack(req AttackRequest) (*Job, error) {
+func (m *Manager) SubmitAttack(req AttackRequest, opts ...SubmitOpts) (*Job, error) {
 	t, err := req.task()
 	if err != nil {
 		return nil, err
 	}
-	return m.enqueue("attack", func(ctx context.Context, j *Job) (any, error) {
+	return m.enqueueAs("attack", resolveOpts(opts), t.cellKeys(m.cfg.Params), func(ctx context.Context, j *Job) (any, error) {
 		return m.runAttack(ctx, j, t)
 	})
 }
 
 // SubmitGadgets validates and enqueues a gadget-census job.
-func (m *Manager) SubmitGadgets(req GadgetsRequest) (*Job, error) {
+func (m *Manager) SubmitGadgets(req GadgetsRequest, opts ...SubmitOpts) (*Job, error) {
 	t, err := req.task()
 	if err != nil {
 		return nil, err
 	}
-	return m.enqueue("gadgets", func(ctx context.Context, j *Job) (any, error) {
+	return m.enqueueAs("gadgets", resolveOpts(opts), t.cellKeys(), func(ctx context.Context, j *Job) (any, error) {
 		return m.runGadgets(ctx, j, t)
 	})
 }
 
-// enqueue registers a job and offers it to the queue without blocking:
-// a full queue is the client's backpressure signal, not a wait.
+// TenantForKey resolves an API key to its tenant (the HTTP auth path).
+func (m *Manager) TenantForKey(key string) (string, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.TenantForKey(key)
+}
+
+// Tenanted reports whether the manager runs with configured tenants (and
+// therefore requires API keys on submissions).
+func (m *Manager) Tenanted() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.Tenanted()
+}
+
+// TenantStats snapshots the per-tenant scheduler accounting for /metrics.
+func (m *Manager) TenantStats() []tenant.Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.sched.TenantStats()
+}
+
+// enqueue is the untenanted path: local tenant, batch class, no admission
+// keys (tests and internal submissions).
 func (m *Manager) enqueue(kind string, run func(context.Context, *Job) (any, error)) (*Job, error) {
+	return m.enqueueAs(kind, resolveOpts(nil), nil, run)
+}
+
+// enqueueAs admits a submission against its tenant's quota and offers it
+// to the fair-share queue without blocking: a full queue is the client's
+// backpressure signal, not a wait — unless every one of the job's cells is
+// already resolvable from the RAM or disk tier, in which case the job runs
+// outside the worker pool instead of bouncing (store-aware admission: a
+// saturated simulation queue is no reason to refuse work that needs no
+// simulation).
+func (m *Manager) enqueueAs(kind string, o SubmitOpts, keys []string, run func(context.Context, *Job) (any, error)) (*Job, error) {
 	j := &Job{
 		id:     fmt.Sprintf("job-%06d", m.nextID.Add(1)),
 		kind:   kind,
+		tenant: o.Tenant,
+		class:  o.Class,
 		state:  JobQueued,
 		doneCh: make(chan struct{}),
 		run:    run,
 	}
+	//ndavet:allow detlint admission wall clock feeds rate quotas and Retry-After only, never results
+	now := time.Now()
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	if m.draining {
 		return nil, ErrDraining
 	}
-	select {
-	case m.queue <- j:
-	default:
+	if m.sched.Full() {
+		// Queue saturated. Before 429ing, try the bypass: quota still
+		// applies (the tenant is consuming service either way), but the
+		// job never occupies a queue slot or a sim worker.
+		if !m.storeResolvable(keys) || m.bypassing >= m.cfg.AdmissionBypass {
+			m.metrics.JobsRejected.Add(1)
+			return nil, ErrQueueFull
+		}
+		if err := m.sched.Admit(o.Tenant, now); err != nil {
+			m.metrics.QuotaRejected.Add(1)
+			return nil, err
+		}
+		m.jobs[j.id] = j
+		m.order = append(m.order, j.id)
+		m.metrics.JobsQueued.Add(1)
+		m.metrics.AdmissionStoreServed.Add(1)
+		m.bypassing++
+		m.wg.Add(1)
+		go func() {
+			defer m.wg.Done()
+			m.runJob(j)
+			m.mu.Lock()
+			m.bypassing--
+			m.mu.Unlock()
+		}()
+		return j, nil
+	}
+	if err := m.sched.Admit(o.Tenant, now); err != nil {
+		m.metrics.QuotaRejected.Add(1)
+		return nil, err
+	}
+	// Cannot fail: Full() was false and m.mu is held throughout.
+	if err := m.sched.Enqueue(o.Tenant, o.Class, j); err != nil {
 		m.metrics.JobsRejected.Add(1)
 		return nil, ErrQueueFull
 	}
 	m.jobs[j.id] = j
 	m.order = append(m.order, j.id)
 	m.metrics.JobsQueued.Add(1)
+	m.cond.Signal()
 	return j, nil
 }
 
-// Cancel stops a job: a queued job is skipped when a worker reaches it, a
-// running job has its context cancelled (the cores notice within a few
-// thousand simulated cycles). Returns false for unknown IDs.
-func (m *Manager) Cancel(id string) bool {
-	j, ok := m.Get(id)
-	if !ok {
+// storeResolvable reports whether every key is already a guaranteed RAM
+// hit or present in the disk store — a job over these cells completes
+// without simulating or dispatching. Called with m.mu held; false when
+// keys are unknown (warm jobs) or empty.
+func (m *Manager) storeResolvable(keys []string) bool {
+	if len(keys) == 0 || m.cfg.AdmissionBypass < 0 {
 		return false
 	}
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	switch j.state {
-	case JobQueued:
-		j.state = JobCancelled
-		j.errMsg = context.Canceled.Error()
-		m.metrics.JobsCancelled.Add(1)
-		close(j.doneCh)
-	case JobRunning:
-		j.cancel()
+	for _, k := range keys {
+		if m.cache.Contains(k) {
+			continue
+		}
+		if m.cfg.Store != nil && m.cfg.Store.Has(k) {
+			continue
+		}
+		return false
 	}
 	return true
 }
 
+// Cancel stops a job: a queued job is pulled out of the fair-share queue
+// immediately, a running job has its context cancelled (the cores notice
+// within a few thousand simulated cycles). Returns false for unknown IDs.
+func (m *Manager) Cancel(id string) bool {
+	m.mu.Lock()
+	j, ok := m.jobs[id]
+	if !ok {
+		m.mu.Unlock()
+		return false
+	}
+	j.mu.Lock()
+	switch j.state {
+	case JobQueued:
+		// Best-effort removal: a worker may have dispatched the job
+		// between our locks, in which case runJob sees the cancelled
+		// state and returns without running it.
+		m.sched.Remove(j.tenant, j.class, j)
+		j.state = JobCancelled
+		j.errMsg = context.Canceled.Error()
+		m.metrics.JobsCancelled.Add(1)
+		j.version.Add(1)
+		j.notifyLocked()
+		close(j.doneCh)
+		// A drain waiting on QueuedLen()==0 may now be able to finish.
+		m.cond.Broadcast()
+	case JobRunning:
+		j.cancel()
+	}
+	j.mu.Unlock()
+	m.mu.Unlock()
+	return true
+}
+
+// worker pulls jobs off the fair-share scheduler until drain completes.
+// Dispatch order is the scheduler's; a worker parks when nothing is
+// eligible (empty queue, or every backlogged tenant at its in-flight cap)
+// and is woken by Enqueue or by another worker's Release.
 func (m *Manager) worker() {
 	defer m.wg.Done()
-	for j := range m.queue {
-		m.runJob(j)
+	m.mu.Lock()
+	for {
+		if v, name, _, ok := m.sched.Next(); ok {
+			m.mu.Unlock()
+			m.runJob(v.(*Job))
+			m.mu.Lock()
+			m.sched.Release(name)
+			// The release may make a capped tenant's next job eligible
+			// for a parked sibling.
+			m.cond.Broadcast()
+			continue
+		}
+		if m.draining && m.sched.QueuedLen() == 0 {
+			m.mu.Unlock()
+			return
+		}
+		m.cond.Wait()
 	}
 }
 
@@ -427,6 +683,8 @@ func (m *Manager) runJob(j *Job) {
 	ctx, cancel := context.WithCancel(m.baseCtx)
 	j.state = JobRunning
 	j.cancel = cancel
+	j.version.Add(1)
+	j.notifyLocked()
 	j.mu.Unlock()
 	defer cancel()
 
@@ -454,6 +712,8 @@ func (m *Manager) runJob(j *Job) {
 		j.errMsg = err.Error()
 		m.metrics.JobsFailed.Add(1)
 	}
+	j.version.Add(1)
+	j.notifyLocked()
 	close(j.doneCh)
 }
 
@@ -467,7 +727,9 @@ func (m *Manager) Shutdown(ctx context.Context) error {
 	alreadyDraining := m.draining
 	if !alreadyDraining {
 		m.draining = true
-		close(m.queue)
+		// Wake every parked worker so it can re-check the drain condition
+		// (and keep draining the remaining queued jobs).
+		m.cond.Broadcast()
 	}
 	m.mu.Unlock()
 

@@ -1,6 +1,10 @@
 package serve
 
-import "context"
+import (
+	"context"
+
+	"nda/internal/tenant"
+)
 
 // Cache warming: POST /v1/warm (or ndaserve -warm-from at boot) submits
 // one job that pushes a set of standard requests through the normal
@@ -47,7 +51,9 @@ type WarmResponse struct {
 // sequentially in request order (each one fans its own cells out over the
 // simulation pool, so there is no parallelism left on the table), under a
 // single job whose progress counters accumulate across all of them.
-func (m *Manager) SubmitWarm(req WarmRequest) (*Job, error) {
+// Warm jobs always run in the warm scheduling class: precomputation yields
+// to every tenant's interactive and batch traffic.
+func (m *Manager) SubmitWarm(req WarmRequest, opts ...SubmitOpts) (*Job, error) {
 	if req.empty() {
 		req = StandardWarm()
 	}
@@ -75,7 +81,9 @@ func (m *Manager) SubmitWarm(req WarmRequest) (*Job, error) {
 		}
 		runs = append(runs, func(ctx context.Context, j *Job) (any, error) { return m.runGadgets(ctx, j, t) })
 	}
-	return m.enqueue("warm", func(ctx context.Context, j *Job) (any, error) {
+	o := resolveOpts(opts)
+	o.Class = tenant.Warm
+	return m.enqueueAs("warm", o, nil, func(ctx context.Context, j *Job) (any, error) {
 		for _, run := range runs {
 			if _, err := run(ctx, j); err != nil {
 				return nil, err

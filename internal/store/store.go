@@ -338,6 +338,17 @@ func (s *Store) Get(key string) ([]byte, bool) {
 	return val, true
 }
 
+// Has reports whether key is present without reading the entry, touching
+// recency, or counting a hit or miss — an admission probe, not a lookup.
+// A later Get can still miss (the file may have gone bad underneath), so
+// callers treating Has as a promise must tolerate a recompute.
+func (s *Store) Has(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	_, ok := s.entries[key]
+	return ok
+}
+
 // Put stores val under key. The write is atomic (temp file + fsync +
 // rename), idempotent (an existing entry is only touched — values are
 // content-addressed, so rewriting could change nothing), and best-effort:

@@ -1,0 +1,277 @@
+// Package tenant gives the serving layer a multi-tenancy story: API-key
+// tenants with token-bucket admission quotas, per-tenant in-flight caps,
+// and a deterministic weighted fair-share scheduler with priority classes
+// that replaces the job queue's FIFO order.
+//
+// The package is pure policy: it never reads the wall clock (callers pass
+// `now` explicitly, so quota arithmetic is testable and detlint-clean),
+// owns no goroutines, and takes no locks — the serving layer serializes
+// access under its own mutex. Scheduling state is all integer stride
+// arithmetic, so the dispatch order for a given arrival sequence is a
+// deterministic function of the configured weights, never of timing.
+package tenant
+
+import (
+	"errors"
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// LocalName is the implicit tenant every scheduler carries: untenanted
+// submissions (single-tenant deployments, -warm-from boot jobs, in-process
+// tests) are accounted against it. It has weight 1, no API key, no rate
+// quota, and no in-flight cap, so a scheduler with no configured tenants
+// degenerates to the plain FIFO queue the service always had.
+const LocalName = "local"
+
+// Sentinel errors the serving layer maps onto HTTP statuses.
+var (
+	// ErrQueueFull is the global backpressure signal: the bounded queue
+	// has no free slot for any tenant (429).
+	ErrQueueFull = errors.New("tenant: job queue full")
+	// ErrUnknownTenant marks a submission for a tenant the scheduler does
+	// not know (programming error on the caller's side).
+	ErrUnknownTenant = errors.New("tenant: unknown tenant")
+)
+
+// QuotaError reports an admission rejected by the tenant's rate quota,
+// carrying the earliest time a retry can succeed (HTTP 429 + Retry-After).
+type QuotaError struct {
+	Tenant     string
+	RetryAfter time.Duration
+}
+
+func (e *QuotaError) Error() string {
+	return fmt.Sprintf("tenant %s: rate quota exhausted, retry after %v", e.Tenant, e.RetryAfter)
+}
+
+// Class is a job's priority class. Classes multiply the tenant's
+// fair-share weight rather than preempting absolutely, so a backlogged
+// warm job is delayed — possibly a lot — but never starved: stride
+// scheduling guarantees every backlogged flow with a positive weight a
+// bounded wait.
+type Class string
+
+const (
+	// Interactive is client-facing blocking work (?wait=1 submissions,
+	// small probes): weight ×100.
+	Interactive Class = "interactive"
+	// Batch is the default for asynchronous submissions: weight ×10.
+	Batch Class = "batch"
+	// Warm is background precomputation (cache warming): weight ×1.
+	Warm Class = "warm"
+)
+
+// classOrder fixes the deterministic scan order; it also breaks pass ties
+// (higher class first).
+var classOrder = [...]Class{Interactive, Batch, Warm}
+
+// ClassWeight returns the class's weight multiplier.
+func ClassWeight(c Class) uint64 {
+	switch c {
+	case Interactive:
+		return 100
+	case Batch:
+		return 10
+	case Warm:
+		return 1
+	}
+	return 0
+}
+
+// ParseClass resolves a class name; "" means Batch.
+func ParseClass(s string) (Class, error) {
+	switch Class(s) {
+	case "":
+		return Batch, nil
+	case Interactive, Batch, Warm:
+		return Class(s), nil
+	}
+	return "", fmt.Errorf("tenant: unknown class %q (want interactive, batch, or warm)", s)
+}
+
+// MaxWeight bounds fair-share weights so stride arithmetic stays exact.
+const MaxWeight = 1000
+
+// Tenant declares one paying (or internal) client of the service.
+type Tenant struct {
+	// Name identifies the tenant in metrics and job accounting.
+	Name string `json:"name"`
+	// Key is the API key presented as `Authorization: Bearer <key>` or
+	// `X-API-Key: <key>`. Empty means the tenant cannot authenticate over
+	// HTTP (only the implicit local tenant runs keyless).
+	Key string `json:"key"`
+	// Weight is the fair-share weight, 1..MaxWeight; 0 means 1. A weight-4
+	// tenant backlogged against a weight-1 tenant receives 4 of every 5
+	// dispatches.
+	Weight int `json:"weight,omitempty"`
+	// Rate is the admission quota in jobs per second; 0 means unlimited.
+	Rate float64 `json:"rate,omitempty"`
+	// Burst is the token bucket's depth; 0 means max(1, Rate).
+	Burst float64 `json:"burst,omitempty"`
+	// MaxInFlight caps this tenant's concurrently running jobs; 0 means
+	// unlimited. Queued jobs beyond the cap wait without blocking other
+	// tenants' dispatches.
+	MaxInFlight int `json:"max_in_flight,omitempty"`
+}
+
+// normalize applies defaults and validates one tenant declaration.
+func (t *Tenant) normalize() error {
+	if t.Name == "" {
+		return errors.New("tenant: empty tenant name")
+	}
+	if t.Name == LocalName {
+		return fmt.Errorf("tenant: name %q is reserved for untenanted submissions", LocalName)
+	}
+	if strings.ContainsAny(t.Name, `:,"{}`) {
+		return fmt.Errorf("tenant %s: name must not contain ':', ',', or quote characters", t.Name)
+	}
+	if t.Key == "" {
+		return fmt.Errorf("tenant %s: empty API key", t.Name)
+	}
+	if t.Weight == 0 {
+		t.Weight = 1
+	}
+	if t.Weight < 1 || t.Weight > MaxWeight {
+		return fmt.Errorf("tenant %s: weight %d invalid: want 1..%d", t.Name, t.Weight, MaxWeight)
+	}
+	if t.Rate < 0 {
+		return fmt.Errorf("tenant %s: rate %g invalid: want 0 (unlimited) or jobs/sec", t.Name, t.Rate)
+	}
+	if t.Burst < 0 {
+		return fmt.Errorf("tenant %s: burst %g invalid: want 0 (default) or a positive depth", t.Name, t.Burst)
+	}
+	if t.Burst == 0 && t.Rate > 0 {
+		t.Burst = t.Rate
+		if t.Burst < 1 {
+			t.Burst = 1
+		}
+	}
+	if t.MaxInFlight < 0 {
+		return fmt.Errorf("tenant %s: max in-flight %d invalid: want 0 (unlimited) or a positive cap", t.Name, t.MaxInFlight)
+	}
+	return nil
+}
+
+// ParseList parses the -tenants CLI syntax: a comma-separated list of
+//
+//	name:key:weight[:rate[:burst[:inflight]]]
+//
+// with weight and every later field optional (empty fields keep their
+// defaults, so "alice:k1::10" is weight 1, rate 10/s). Duplicate names or
+// API keys are rejected.
+func ParseList(csv string) ([]Tenant, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	var out []Tenant
+	for _, raw := range strings.Split(csv, ",") {
+		raw = strings.TrimSpace(raw)
+		if raw == "" {
+			continue
+		}
+		f := strings.Split(raw, ":")
+		if len(f) < 2 || len(f) > 6 {
+			return nil, fmt.Errorf("tenant entry %q: want name:key:weight[:rate[:burst[:inflight]]]", raw)
+		}
+		t := Tenant{Name: strings.TrimSpace(f[0]), Key: strings.TrimSpace(f[1])}
+		intField := func(i int, dst *int, label string) error {
+			if len(f) <= i || strings.TrimSpace(f[i]) == "" {
+				return nil
+			}
+			v, err := strconv.Atoi(strings.TrimSpace(f[i]))
+			if err != nil {
+				return fmt.Errorf("tenant entry %q: bad %s %q", raw, label, f[i])
+			}
+			*dst = v
+			return nil
+		}
+		floatField := func(i int, dst *float64, label string) error {
+			if len(f) <= i || strings.TrimSpace(f[i]) == "" {
+				return nil
+			}
+			v, err := strconv.ParseFloat(strings.TrimSpace(f[i]), 64)
+			if err != nil {
+				return fmt.Errorf("tenant entry %q: bad %s %q", raw, label, f[i])
+			}
+			*dst = v
+			return nil
+		}
+		if err := intField(2, &t.Weight, "weight"); err != nil {
+			return nil, err
+		}
+		if err := floatField(3, &t.Rate, "rate"); err != nil {
+			return nil, err
+		}
+		if err := floatField(4, &t.Burst, "burst"); err != nil {
+			return nil, err
+		}
+		if err := intField(5, &t.MaxInFlight, "inflight"); err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+	}
+	if len(out) == 0 {
+		return nil, errors.New("tenant: -tenants given but no tenant entries in it")
+	}
+	if err := ValidateList(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ValidateList normalizes every tenant in place and rejects duplicates.
+func ValidateList(tenants []Tenant) error {
+	names := make(map[string]bool, len(tenants))
+	keys := make(map[string]bool, len(tenants))
+	for i := range tenants {
+		t := &tenants[i]
+		if err := t.normalize(); err != nil {
+			return err
+		}
+		if names[t.Name] {
+			return fmt.Errorf("tenant: duplicate tenant name %q", t.Name)
+		}
+		if keys[t.Key] {
+			return fmt.Errorf("tenant %s: duplicate API key", t.Name)
+		}
+		names[t.Name] = true
+		keys[t.Key] = true
+	}
+	return nil
+}
+
+// bucket is a token bucket over caller-supplied time. The zero value
+// (rate 0) admits everything.
+type bucket struct {
+	rate, burst float64
+	tokens      float64
+	last        time.Time
+}
+
+// take refills for the elapsed time and spends one token. When the bucket
+// is empty it reports the wait until a full token accumulates.
+func (b *bucket) take(now time.Time) (ok bool, retryAfter time.Duration) {
+	if b.rate <= 0 {
+		return true, 0
+	}
+	if !b.last.IsZero() {
+		if dt := now.Sub(b.last).Seconds(); dt > 0 {
+			b.tokens += dt * b.rate
+			if b.tokens > b.burst {
+				b.tokens = b.burst
+			}
+		}
+	} else {
+		b.tokens = b.burst // first touch: a fresh bucket starts full
+	}
+	b.last = now
+	if b.tokens >= 1 {
+		b.tokens--
+		return true, 0
+	}
+	need := (1 - b.tokens) / b.rate
+	return false, time.Duration(need * float64(time.Second))
+}

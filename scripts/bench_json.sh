@@ -11,6 +11,14 @@
 # simulator micro-benchmarks (bench_test.go); -benchtime=1x keeps one run
 # per benchmark — exact for allocs/op (the gated number) and good enough
 # for the informational timing columns.
+#
+# Two serving-path points ride along via ndaload against an in-process
+# server: the warm hot mix with a saturation search (BenchmarkLoadHot +
+# BenchmarkLoadHotSaturation) and a two-tenant contention mix
+# (BenchmarkLoadMultiTenant, whose jain column tracks fair-share quality).
+# Their latency/throughput columns are informational like ns/op; they
+# carry no alloc columns, so the regression gate treats them as presence
+# checks only.
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -35,6 +43,13 @@ TMP=$(mktemp)
 trap 'rm -f "$TMP"' EXIT
 
 go test -run='^$' -bench=. -benchmem -benchtime=1x . >"$TMP"
+
+LOAD_DUR=${BENCH_LOAD_DURATION:-2s}
+go run ./cmd/ndaload -inproc -duration "$LOAD_DUR" -load 'local::2:hot' \
+    -saturation -saturation-max-workers 8 -bench Hot >>"$TMP"
+go run ./cmd/ndaload -inproc -tenants 'greedy:bench-kg:3,light:bench-kl:1' \
+    -load 'greedy:bench-kg:2:hot:0:3,light:bench-kl:1:hot:0:1' \
+    -duration "$LOAD_DUR" -bench MultiTenant >>"$TMP"
 
 if [ -n "$OUT" ]; then
     go run ./cmd/benchjson -index "$INDEX" -note "$NOTE" <"$TMP" >"$OUT"
