@@ -419,6 +419,9 @@ func (r *runner) awaitSSE(ctx context.Context, id string) outcome {
 	if err != nil {
 		return outErr
 	}
+	if r.load.Key != "" {
+		hreq.Header.Set("X-API-Key", r.load.Key)
+	}
 	resp, err := r.client.Do(hreq)
 	if err != nil {
 		return outErr

@@ -31,6 +31,11 @@ import (
 // the job finishes and receive the result body directly — the result
 // bytes are identical whether the cells simulated or hit the cache. A
 // full queue answers 429, a draining server 503.
+//
+// On tenanted deployments every job endpoint requires an API key, not
+// just submissions: the listing shows only the caller's jobs, and
+// status/stream/result/cancel answer 404 for another tenant's job IDs.
+// Only /healthz and /metrics stay unauthenticated.
 func NewHandler(m *Manager) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", func(w http.ResponseWriter, r *http.Request) {
@@ -78,12 +83,15 @@ func NewHandler(m *Manager) http.Handler {
 		writeJSON(w, http.StatusOK, v)
 	})
 	mux.HandleFunc("GET /v1/jobs", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, m.Jobs())
+		caller, ok := authTenant(m, w, r)
+		if !ok {
+			return
+		}
+		writeJSON(w, http.StatusOK, m.JobsFor(caller))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := m.Get(r.PathValue("id"))
+		j, ok := jobForRequest(m, w, r)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown job")
 			return
 		}
 		if s := r.URL.Query().Get("stream"); s == "1" || s == "true" {
@@ -99,18 +107,19 @@ func NewHandler(m *Manager) http.Handler {
 		_, _ = w.Write([]byte("\n"))
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}/result", func(w http.ResponseWriter, r *http.Request) {
-		j, ok := m.Get(r.PathValue("id"))
+		j, ok := jobForRequest(m, w, r)
 		if !ok {
-			writeError(w, http.StatusNotFound, "unknown job")
 			return
 		}
 		writeResult(w, j)
 	})
 	mux.HandleFunc("DELETE /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
-		if !m.Cancel(r.PathValue("id")) {
-			writeError(w, http.StatusNotFound, "unknown job")
+		j, ok := jobForRequest(m, w, r)
+		if !ok {
 			return
 		}
+		// The job is registered forever, so a found job always cancels.
+		m.Cancel(j.ID())
 		writeJSON(w, http.StatusOK, map[string]string{"status": "cancelling"})
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -127,7 +136,7 @@ func NewHandler(m *Manager) http.Handler {
 // of names and knobs.
 const maxBodyBytes = 1 << 20
 
-// authTenant resolves the submission's tenant from the request's API key
+// authTenant resolves the request's tenant from its API key
 // (Authorization: Bearer or X-API-Key). On a single-tenant deployment the
 // implicit local tenant is used and no key is required. Writes the 401
 // itself and reports false when authentication fails.
@@ -151,6 +160,24 @@ func authTenant(m *Manager, w http.ResponseWriter, r *http.Request) (string, boo
 		return "", false
 	}
 	return name, true
+}
+
+// jobForRequest authenticates the caller and resolves the {id} path value
+// to a job the caller may see. On tenanted deployments a job owned by a
+// different tenant answers 404 — indistinguishable from an ID that was
+// never issued, so the sequential job namespace leaks nothing across
+// tenants. Writes the error response itself and reports false on failure.
+func jobForRequest(m *Manager, w http.ResponseWriter, r *http.Request) (*Job, bool) {
+	caller, ok := authTenant(m, w, r)
+	if !ok {
+		return nil, false
+	}
+	j, ok := m.Get(r.PathValue("id"))
+	if !ok || (caller != "" && j.tenant != caller) {
+		writeError(w, http.StatusNotFound, "unknown job")
+		return nil, false
+	}
+	return j, true
 }
 
 // submit decodes a typed request body, enqueues it, and answers 202 (or,

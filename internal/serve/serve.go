@@ -337,6 +337,8 @@ type Config struct {
 	// AdmissionBypass bounds how many store-served jobs may run
 	// concurrently outside the worker pool when the queue is saturated
 	// (store-aware admission). 0 means 2; negative disables the bypass.
+	// Bypass jobs still count toward their tenant's rate quota and
+	// MaxInFlight cap — the cap is a hard concurrency bound either way.
 	AdmissionBypass int
 }
 
@@ -430,12 +432,17 @@ func (m *Manager) Get(id string) (*Job, bool) {
 }
 
 // Jobs returns snapshots of every job in submission order.
-func (m *Manager) Jobs() []Status {
+func (m *Manager) Jobs() []Status { return m.JobsFor("") }
+
+// JobsFor returns snapshots of the named tenant's jobs in submission
+// order; the empty name (untenanted deployments) returns every job.
+func (m *Manager) JobsFor(tenantName string) []Status {
 	m.mu.Lock()
-	ids := append([]string(nil), m.order...)
-	jobs := make([]*Job, 0, len(ids))
-	for _, id := range ids {
-		jobs = append(jobs, m.jobs[id])
+	jobs := make([]*Job, 0, len(m.order))
+	for _, id := range m.order {
+		if j := m.jobs[id]; tenantName == "" || j.tenant == tenantName {
+			jobs = append(jobs, j)
+		}
 	}
 	m.mu.Unlock()
 	out := make([]Status, len(jobs))
@@ -553,10 +560,11 @@ func (m *Manager) enqueueAs(kind string, o SubmitOpts, keys []string, run func(c
 		return nil, ErrDraining
 	}
 	if m.sched.Full() {
-		// Queue saturated. Before 429ing, try the bypass: quota still
-		// applies (the tenant is consuming service either way), but the
-		// job never occupies a queue slot or a sim worker.
-		if !m.storeResolvable(keys) || m.bypassing >= m.cfg.AdmissionBypass {
+		// Queue saturated. Before 429ing, try the bypass: quota and the
+		// tenant's in-flight cap still apply (the tenant is consuming
+		// service either way), but the job never occupies a queue slot or
+		// a sim worker.
+		if !m.storeResolvable(keys) || m.bypassing >= m.cfg.AdmissionBypass || !m.sched.HasSlot(o.Tenant) {
 			m.metrics.JobsRejected.Add(1)
 			return nil, ErrQueueFull
 		}
@@ -564,6 +572,9 @@ func (m *Manager) enqueueAs(kind string, o SubmitOpts, keys []string, run func(c
 			m.metrics.QuotaRejected.Add(1)
 			return nil, err
 		}
+		// Cannot exceed the cap: HasSlot was true and m.mu is held
+		// throughout.
+		m.sched.Reserve(o.Tenant)
 		m.jobs[j.id] = j
 		m.order = append(m.order, j.id)
 		m.metrics.JobsQueued.Add(1)
@@ -575,6 +586,10 @@ func (m *Manager) enqueueAs(kind string, o SubmitOpts, keys []string, run func(c
 			m.runJob(j)
 			m.mu.Lock()
 			m.bypassing--
+			m.sched.Release(o.Tenant)
+			// The freed slot may make a capped tenant's queued job
+			// eligible for a parked worker.
+			m.cond.Broadcast()
 			m.mu.Unlock()
 		}()
 		return j, nil

@@ -479,3 +479,193 @@ func TestStatusSnapshotCached(t *testing.T) {
 		t.Errorf("cached snapshot %s != fresh marshal %s", first, want)
 	}
 }
+
+// doKey performs a bodyless exchange with an optional X-API-Key header.
+func doKey(t *testing.T, method, url, key string) (*http.Response, []byte) {
+	t.Helper()
+	req, err := http.NewRequest(method, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != "" {
+		req.Header.Set("X-API-Key", key)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := readAll(resp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestJobEndpointsTenantScoped: on a tenanted deployment the read side is
+// authenticated too — job listing, status, stream, result, and cancel all
+// 401 without a key, and another tenant's job IDs answer 404 exactly like
+// IDs that were never issued, so the sequential job namespace leaks
+// nothing across tenants.
+func TestJobEndpointsTenantScoped(t *testing.T) {
+	_, srv := newTenantServer(t, Config{QueueDepth: 8, JobWorkers: 2, Tenants: twoTenants()})
+	resp, body := postKey(t, srv.URL+"/v1/gadgets", "key-a", GadgetsRequest{Programs: []string{"meltdown"}})
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d: %s", resp.StatusCode, body)
+	}
+	var st Status
+	if err := json.Unmarshal(body, &st); err != nil {
+		t.Fatal(err)
+	}
+	jobURL := srv.URL + "/v1/jobs/" + st.ID
+
+	// Keyless reads are 401s, same as keyless submissions.
+	for _, c := range []struct{ method, url string }{
+		{http.MethodGet, srv.URL + "/v1/jobs"},
+		{http.MethodGet, jobURL},
+		{http.MethodGet, jobURL + "?stream=1"},
+		{http.MethodGet, jobURL + "/result"},
+		{http.MethodDelete, jobURL},
+	} {
+		if resp, body := doKey(t, c.method, c.url, ""); resp.StatusCode != http.StatusUnauthorized {
+			t.Errorf("keyless %s %s = %d: %s", c.method, c.url, resp.StatusCode, body)
+		}
+	}
+	// Another tenant's key sees alice's job ID as never issued.
+	for _, c := range []struct{ method, url string }{
+		{http.MethodGet, jobURL},
+		{http.MethodGet, jobURL + "?stream=1"},
+		{http.MethodGet, jobURL + "/result"},
+		{http.MethodDelete, jobURL},
+	} {
+		if resp, body := doKey(t, c.method, c.url, "key-b"); resp.StatusCode != http.StatusNotFound {
+			t.Errorf("cross-tenant %s %s = %d: %s", c.method, c.url, resp.StatusCode, body)
+		}
+	}
+
+	// The owner polls until done, then reads the result.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, body = doKey(t, http.MethodGet, jobURL, "key-a")
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("owner poll = %d: %s", resp.StatusCode, body)
+		}
+		if err := json.Unmarshal(body, &st); err != nil {
+			t.Fatal(err)
+		}
+		if st.State == JobDone {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if resp, body := doKey(t, http.MethodGet, jobURL+"/result", "key-a"); resp.StatusCode != http.StatusOK {
+		t.Errorf("owner result = %d: %s", resp.StatusCode, body)
+	}
+
+	// The listing is scoped: alice sees her job, bob sees an empty list.
+	var jobs []Status
+	_, body = doKey(t, http.MethodGet, srv.URL+"/v1/jobs", "key-a")
+	if err := json.Unmarshal(body, &jobs); err != nil || len(jobs) != 1 || jobs[0].ID != st.ID {
+		t.Errorf("alice's listing = %s (%v), want exactly her job", body, err)
+	}
+	_, body = doKey(t, http.MethodGet, srv.URL+"/v1/jobs", "key-b")
+	if err := json.Unmarshal(body, &jobs); err != nil || len(jobs) != 0 {
+		t.Errorf("bob's listing = %s (%v), want empty", body, err)
+	}
+
+	// The owner's stream works and ends with the done event.
+	sreq, err := http.NewRequest(http.MethodGet, jobURL+"?stream=1", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sreq.Header.Set("X-API-Key", "key-a")
+	sresp, err := http.DefaultClient.Do(sreq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sresp.StatusCode != http.StatusOK || sresp.Header.Get("Content-Type") != "text/event-stream" {
+		t.Fatalf("owner stream = %d %q", sresp.StatusCode, sresp.Header.Get("Content-Type"))
+	}
+	events, _ := readSSE(t, sresp)
+	if len(events) == 0 || events[len(events)-1].event != "done" {
+		t.Errorf("owner stream events %+v, want a done event", events)
+	}
+
+	// The owner may cancel (a no-op on a finished job, but authorized).
+	if resp, body := doKey(t, http.MethodDelete, jobURL, "key-a"); resp.StatusCode != http.StatusOK {
+		t.Errorf("owner cancel = %d: %s", resp.StatusCode, body)
+	}
+}
+
+// TestBypassRespectsInFlightCap: store-admission bypass jobs count toward
+// their tenant's MaxInFlight — a tenant at its cap gets the 429 signal
+// even for fully-cached work, while an uncapped tenant still bypasses,
+// and the slot frees again when the running job finishes.
+func TestBypassRespectsInFlightCap(t *testing.T) {
+	m := NewManager(Config{QueueDepth: 1, JobWorkers: 1, SimWorkers: 2, Tenants: []tenant.Tenant{
+		{Name: "capped", Key: "kc", MaxInFlight: 1},
+		{Name: "free", Key: "kf"},
+	}})
+	release := make(chan struct{})
+	var once sync.Once
+	unblock := func() { once.Do(func() { close(release) }) }
+	t.Cleanup(func() {
+		unblock()
+		m.Shutdown(context.Background())
+	})
+	req := SweepRequest{Workloads: []string{"exchange2"}, Policies: []string{"OoO"}, Sampling: tinySampling()}
+
+	// Warm the cache so the sweep is fully store-resolvable.
+	j1, err := m.SubmitSweep(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitState(t, j1, JobDone)
+
+	// The capped tenant's one allowed job occupies the only worker...
+	blocker, err := m.enqueueAs("test", SubmitOpts{Tenant: "capped", Class: tenant.Batch}, nil,
+		func(ctx context.Context, j *Job) (any, error) {
+			select {
+			case <-release:
+				return "ok", nil
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitRunning(t, blocker)
+	// ...and a local job fills the single queue slot: the queue is full.
+	blockingJob(t, m, release)
+
+	// At its cap, the capped tenant cannot bypass even fully-cached work.
+	if _, err := m.SubmitSweep(req, SubmitOpts{Tenant: "capped"}); err != ErrQueueFull {
+		t.Fatalf("capped tenant bypass = %v, want ErrQueueFull", err)
+	}
+	// An uncapped tenant's identical submission bypasses fine.
+	j2, err := m.SubmitSweep(req, SubmitOpts{Tenant: "free"})
+	if err != nil {
+		t.Fatalf("uncapped tenant bypass = %v, want admission", err)
+	}
+	waitState(t, j2, JobDone)
+
+	// Finishing the capped tenant's running job frees its slot: the same
+	// submission is admitted again once the release lands.
+	unblock()
+	waitState(t, blocker, JobDone)
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		j3, err := m.SubmitSweep(req, SubmitOpts{Tenant: "capped"})
+		if err == nil {
+			waitState(t, j3, JobDone)
+			return
+		}
+		if err != ErrQueueFull || time.Now().After(deadline) {
+			t.Fatalf("capped resubmission after release: %v", err)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

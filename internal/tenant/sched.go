@@ -227,10 +227,30 @@ func (s *Scheduler) Next() (v any, name string, class Class, ok bool) {
 }
 
 // Release returns one of the tenant's in-flight slots after its job
-// finishes (any terminal state).
+// finishes (any terminal state). Slots claimed by Next and by Reserve are
+// released the same way.
 func (s *Scheduler) Release(name string) {
 	if st, ok := s.tenants[name]; ok && st.inFlight > 0 {
 		st.inFlight--
+	}
+}
+
+// HasSlot reports whether the tenant is known and below its in-flight
+// cap, i.e. whether a Reserve would respect MaxInFlight.
+func (s *Scheduler) HasSlot(name string) bool {
+	st, ok := s.tenants[name]
+	return ok && (st.cfg.MaxInFlight <= 0 || st.inFlight < st.cfg.MaxInFlight)
+}
+
+// Reserve claims one of the tenant's in-flight slots without going
+// through the queue: store-admission bypass jobs run outside the worker
+// pool but still count toward MaxInFlight and the dispatch metrics. The
+// caller must have checked HasSlot under the same lock that serializes
+// scheduler access, and owes a Release when the job finishes.
+func (s *Scheduler) Reserve(name string) {
+	if st, ok := s.tenants[name]; ok {
+		st.inFlight++
+		st.dispatched++
 	}
 }
 

@@ -346,3 +346,40 @@ func TestNewSchedulerPanicsOnBadConfig(t *testing.T) {
 		}()
 	}
 }
+
+// TestReserveCountsTowardCap: slots claimed outside the queue (the
+// store-admission bypass path) share the in-flight accounting with
+// dispatched jobs — a reserved slot is refused by HasSlot at the cap,
+// blocks Next for that tenant, shows up in the stats, and is freed by the
+// same Release the worker path uses.
+func TestReserveCountsTowardCap(t *testing.T) {
+	s := NewScheduler([]Tenant{{Name: "capped", Key: "kc", MaxInFlight: 1}}, 8)
+	if !s.HasSlot("capped") {
+		t.Fatal("fresh tenant reports no free slot")
+	}
+	s.Reserve("capped")
+	if s.HasSlot("capped") {
+		t.Fatal("HasSlot true at the cap")
+	}
+	// A queued job cannot dispatch while the bypass job holds the slot.
+	fill(t, s, "capped", Batch, 1)
+	if _, _, _, ok := s.Next(); ok {
+		t.Fatal("Next dispatched past the in-flight cap")
+	}
+	for _, st := range s.TenantStats() {
+		if st.Name == "capped" && (st.Running != 1 || st.Dispatched != 1) {
+			t.Fatalf("stats running=%d dispatched=%d, want 1/1", st.Running, st.Dispatched)
+		}
+	}
+	s.Release("capped")
+	if _, n, _, ok := s.Next(); !ok || n != "capped" {
+		t.Fatalf("after release got %q ok=%v, want capped", n, ok)
+	}
+	// Uncapped tenants always have a slot; unknown names never do.
+	if !s.HasSlot(LocalName) {
+		t.Fatal("uncapped local tenant reports no slot")
+	}
+	if s.HasSlot("ghost") {
+		t.Fatal("HasSlot true for unknown tenant")
+	}
+}

@@ -109,7 +109,9 @@ type Tenant struct {
 	Weight int `json:"weight,omitempty"`
 	// Rate is the admission quota in jobs per second; 0 means unlimited.
 	Rate float64 `json:"rate,omitempty"`
-	// Burst is the token bucket's depth; 0 means max(1, Rate).
+	// Burst is the token bucket's depth; 0 means max(1, Rate), and any
+	// depth below one token clamps to 1 (a shallower bucket could never
+	// admit a submission).
 	Burst float64 `json:"burst,omitempty"`
 	// MaxInFlight caps this tenant's concurrently running jobs; 0 means
 	// unlimited. Queued jobs beyond the cap wait without blocking other
@@ -145,9 +147,14 @@ func (t *Tenant) normalize() error {
 	}
 	if t.Burst == 0 && t.Rate > 0 {
 		t.Burst = t.Rate
-		if t.Burst < 1 {
-			t.Burst = 1
-		}
+	}
+	if t.Burst > 0 && t.Burst < 1 {
+		// bucket.take caps tokens at the burst depth, so a depth below one
+		// token could never admit anything and would promise Retry-After
+		// times at which admission still fails. One token is the smallest
+		// depth at which a submission can succeed; clamp configured and
+		// defaulted depths alike.
+		t.Burst = 1
 	}
 	if t.MaxInFlight < 0 {
 		return fmt.Errorf("tenant %s: max in-flight %d invalid: want 0 (unlimited) or a positive cap", t.Name, t.MaxInFlight)

@@ -140,3 +140,39 @@ func TestQuotaErrorMessage(t *testing.T) {
 		t.Fatalf("unhelpful error: %q", e.Error())
 	}
 }
+
+// TestBurstBelowOneClampsToOne: bucket.take caps tokens at the burst
+// depth, so a configured depth in (0,1) would reject every submission
+// forever while advertising Retry-After times that never help. normalize
+// clamps such depths to one token, and the advertised retry then works.
+func TestBurstBelowOneClampsToOne(t *testing.T) {
+	ts, err := ParseList("alice:ka:1:2:0.25")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Burst != 1 {
+		t.Fatalf("burst 0.25 normalized to %g, want clamp to 1", ts[0].Burst)
+	}
+	// The same clamp applies to the defaulted depth at sub-1 rates.
+	ts, err = ParseList("bob:kb:1:0.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts[0].Burst != 1 {
+		t.Fatalf("defaulted burst at rate 0.5 = %g, want 1", ts[0].Burst)
+	}
+
+	s := NewScheduler([]Tenant{{Name: "a", Key: "k", Rate: 2, Burst: 0.5}}, 8)
+	t0 := time.Unix(1000, 0)
+	if err := s.Admit("a", t0); err != nil {
+		t.Fatalf("first admit with clamped burst: %v", err)
+	}
+	err = s.Admit("a", t0)
+	var qe *QuotaError
+	if !errors.As(err, &qe) {
+		t.Fatalf("got %v, want QuotaError", err)
+	}
+	if err := s.Admit("a", t0.Add(qe.RetryAfter)); err != nil {
+		t.Fatalf("admit at the advertised retry time: %v", err)
+	}
+}
