@@ -83,8 +83,10 @@ vet:
 	$(GO) vet ./...
 
 ## ndavet: the determinism/layering analyzer over the repo's own source —
-## detlint, errlint, globlint, layerlint, locklint; fails on any finding
-## without a reasoned //ndavet:allow annotation
+## all eight passes — alloclint, ctxlint, detlint, errlint, globlint,
+## layerlint, leaklint, locklint (alloclint, ctxlint, leaklint, and
+## locklint are interprocedural, over the call graph); fails on any
+## finding without a reasoned //ndavet:allow annotation
 ndavet:
 	$(GO) run ./cmd/ndavet
 

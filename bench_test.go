@@ -12,6 +12,7 @@ import (
 	"context"
 	"testing"
 
+	"nda/internal/analysis"
 	"nda/internal/asm"
 	"nda/internal/attack"
 	"nda/internal/checkpoint"
@@ -443,4 +444,26 @@ func BenchmarkCheckpointedMeasurement(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkNdavetRepo measures one full ndavet run over this repository:
+// load + typecheck, call-graph construction with per-function dataflow
+// summaries, and all eight passes. It rides the BENCH_*.json trajectory
+// so a regression in the analyzer's wall-clock or allocation footprint
+// is as visible as one in the simulator.
+func BenchmarkNdavetRepo(b *testing.B) {
+	b.ReportAllocs()
+	var open int
+	for i := 0; i < b.N; i++ {
+		m, err := analysis.Load(".")
+		if err != nil {
+			b.Fatal(err)
+		}
+		report, err := analysis.RunAll(m, analysis.Config{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		open = len(report.Open())
+	}
+	b.ReportMetric(float64(open), "open-findings")
 }

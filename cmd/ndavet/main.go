@@ -1,20 +1,20 @@
-// Command ndavet runs the repo's source-level static analyzer: five
-// passes over the whole module proving the determinism and layering
-// invariants the golden sweep tests check at runtime.
+// Command ndavet runs the repo's source-level static analyzer: eight
+// passes over the whole module proving the determinism, layering,
+// allocation, and cancellation invariants the golden sweep tests check
+// at runtime.
 //
 //	ndavet               # run all passes; exit 1 on any unallowed finding
 //	ndavet -json         # full machine-readable report (allowed findings included)
 //	ndavet -pass detlint # run a subset of passes (comma-separated)
+//	ndavet -list-passes  # print the pass names with one-line descriptions
 //	ndavet -contract     # print the layer-contract markdown table (README sync)
 //	ndavet -C dir        # analyze the module containing dir (default ".")
 //
-// Passes: detlint (map-iteration order into ordering-sensitive sinks;
-// wall-clock and global-randomness reads), errlint (silently dropped
-// error returns in the service layer and the fuzz program generator),
-// layerlint (the declared import DAG), locklint (mutexes held across
-// blocking calls in serve/dist/par), globlint (mutable package-level
-// state in deterministic packages). Sanctioned exceptions carry
-// //ndavet:allow <pass> <reason> annotations.
+// Run ndavet -list-passes for the pass roster; the interprocedural
+// passes (alloclint, ctxlint, leaklint, and locklint's transitive
+// events) share one call graph with bottom-up dataflow summaries.
+// Sanctioned exceptions carry //ndavet:allow <pass>[:<kind>] <reason>
+// annotations.
 //
 // Exit codes follow the shared analysis convention: 0 clean, 1 when open
 // findings remain (also under -json), 2 when the tool itself fails.
@@ -24,33 +24,36 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
 	"nda/internal/analysis"
+	"nda/internal/cliutil"
 )
 
 func main() {
 	var (
-		jsonOut  = flag.Bool("json", false, "emit the full report as JSON, allowed findings included")
-		passes   = flag.String("pass", "", "comma-separated subset of passes to run (default: all)")
-		contract = flag.Bool("contract", false, "print the layer-contract markdown table and exit")
-		dir      = flag.String("C", ".", "directory inside the module to analyze")
+		jsonOut    = flag.Bool("json", false, "emit the full report as JSON, allowed findings included")
+		passes     = flag.String("pass", "", "comma-separated subset of passes to run (default: all)")
+		listPasses = flag.Bool("list-passes", false, "print the pass names with one-line descriptions and exit")
+		contract   = flag.Bool("contract", false, "print the layer-contract markdown table and exit")
+		dir        = flag.String("C", ".", "directory inside the module to analyze")
 	)
 	flag.Parse()
 
+	if *listPasses {
+		for _, name := range analysis.PassNames {
+			fmt.Printf("%-10s %s\n", name, analysis.PassDocs[name])
+		}
+		return
+	}
 	if *contract {
 		fmt.Print(analysis.ContractTable(analysis.DefaultContract))
 		return
 	}
 
 	cfg := analysis.Config{}
-	if *passes != "" {
-		for _, p := range strings.Split(*passes, ",") {
-			if p = strings.TrimSpace(p); p != "" {
-				cfg.Passes = append(cfg.Passes, p)
-			}
-		}
-	}
+	sel, err := cliutil.Passes(*passes, analysis.PassNames)
+	toolErr(err)
+	cfg.Passes = sel
 
 	mod, err := analysis.Load(*dir)
 	toolErr(err)

@@ -1,0 +1,255 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strconv"
+)
+
+// alloclint statically pins the allocation-free hot paths that the
+// bench-trajectory gate (BENCH_*.json allocs/op) only checks dynamically.
+// A function annotated //ndavet:hotpath must not reach an allocating
+// operation — make/new, append growth, reference-type composite literals,
+// capturing closures, map writes, string concatenation, boxing
+// conversions, or a go statement — in its own body or in any module
+// function it reaches through static calls. The pass is worst-case at the
+// dispatch frontier: a call to an external function not on the known-clean
+// list, an interface method, or a func value is itself a finding, because
+// the analysis cannot see past it.
+//
+// DefaultHotPathRoster is the tamper check: those functions MUST carry the
+// annotation, so deleting a //ndavet:hotpath comment (quietly un-pinning
+// the invariant) is a finding, not a silent downgrade.
+//
+// Cold error paths are exempt: an allocation lexically inside a return
+// statement of an error-returning function, or inside a panic call,
+// constructs the failure report — by definition off the measured path.
+//
+// Finding kinds: "op" (allocating operation), "call" (opaque call
+// frontier), "roster" (missing annotation).
+
+// DefaultHotPathRoster names the functions whose //ndavet:hotpath
+// annotation is load-bearing: the PR 6 event-driven sim window and the
+// worker-pool slot fold and store read-hit path that serve every request.
+var DefaultHotPathRoster = []string{
+	"nda/internal/ooo.(*Core).Run",
+	"nda/internal/ooo.(*Core).RunInsts",
+	"nda/internal/ooo.(*Core).Step",
+	"nda/internal/par.(*pool).drain",
+	"nda/internal/store.(*Store).Has",
+}
+
+// allocCleanPkgs are external packages whose calls never allocate on the
+// caller's behalf.
+var allocCleanPkgs = map[string]bool{
+	"math": true, "math/bits": true, "sync/atomic": true,
+	"unicode": true, "unicode/utf8": true,
+}
+
+// allocCleanSyncMethods are the sync methods that neither allocate nor
+// call back into user code.
+var allocCleanSyncMethods = map[string]bool{
+	"Lock": true, "Unlock": true, "RLock": true, "RUnlock": true,
+	"TryLock": true, "Add": true, "Done": true, "Wait": true,
+}
+
+func runAlloclint(m *Module, g *CallGraph, roster []string) []Finding {
+	var out []Finding
+	if roster == nil && m.Path == "nda" {
+		roster = DefaultHotPathRoster
+	}
+	for _, name := range roster {
+		n := g.NodeByName(name)
+		switch {
+		case n == nil:
+			out = append(out, Finding{
+				File: "internal/analysis/alloclint.go", Tool: "ndavet", Pass: "alloclint", Kind: "roster",
+				Message: "hot-path roster names " + name + " but the module has no such function (renamed? update DefaultHotPathRoster)",
+			})
+		case !n.HotPath:
+			out = append(out, m.kfinding("alloclint", "roster", n.Decl,
+				name+" is on the hot-path roster but is missing its //ndavet:hotpath annotation; restore it — the annotation is what pins the 0 B/op window"))
+		}
+	}
+
+	// Hot roots in deterministic node order.
+	var roots []*FuncNode
+	for _, n := range g.Nodes {
+		if n.HotPath {
+			roots = append(roots, n)
+		}
+	}
+
+	// One finding per witness position: the first root (node order) to
+	// reach an operation claims it, so one //ndavet:allow covers the op
+	// however many hot paths lead there.
+	type witness struct {
+		kind string
+		node ast.Node
+		msg  string
+	}
+	seen := map[string]bool{}
+	cold := map[*FuncNode][][2]ast.Node{}
+	spansOf := func(n *FuncNode) [][2]ast.Node {
+		s, ok := cold[n]
+		if !ok {
+			s = coldSpans(n)
+			cold[n] = s
+		}
+		return s
+	}
+	for _, root := range roots {
+		chains := hotReachable(root, spansOf)
+		// Deterministic node iteration: graph order filtered to reached.
+		for _, n := range g.Nodes {
+			chain, ok := chains[n]
+			if !ok {
+				continue
+			}
+			suffix := ""
+			if len(chain) > 0 {
+				suffix = ", reachable from hot path " + chainString(m, root.Name, chain)
+			} else {
+				suffix = " in hot path " + chainString(m, root.Name, nil)
+			}
+			var ws []witness
+			sp := spansOf(n)
+			for _, op := range n.summary.allocOps {
+				if inSpans(sp, op.node) {
+					continue
+				}
+				ws = append(ws, witness{"op", op.node, op.desc + suffix})
+			}
+			for _, cs := range n.Calls {
+				if inSpans(sp, cs.Call) {
+					continue
+				}
+				if d := opaqueCallDesc(cs); d != "" {
+					ws = append(ws, witness{"call", cs.Call, d + suffix})
+				}
+			}
+			for _, w := range ws {
+				file, line, col := m.Rel(w.node.Pos())
+				k := file + ":" + strconv.Itoa(line) + ":" + strconv.Itoa(col)
+				if seen[k] {
+					continue
+				}
+				seen[k] = true
+				out = append(out, m.kfinding("alloclint", w.kind, w.node, w.msg))
+			}
+		}
+	}
+	return out
+}
+
+// hotReachable walks static call edges from a hot root, skipping edges
+// whose call site sits in a cold span (failure construction is off the
+// measured path, so the walk must not drag its callees in). Dynamic
+// edges are never followed — the dynamic call site is itself alloclint's
+// finding. Chains are deterministic: BFS with name-sorted expansion.
+func hotReachable(root *FuncNode, spansOf func(*FuncNode) [][2]ast.Node) map[*FuncNode][]string {
+	chains := map[*FuncNode][]string{root: {}}
+	queue := []*FuncNode{root}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		sp := spansOf(n)
+		var nexts []*FuncNode
+		for _, cs := range n.Calls {
+			if cs.Static != nil && !inSpans(sp, cs.Call) {
+				nexts = append(nexts, cs.Static)
+			}
+		}
+		sort.Slice(nexts, func(i, j int) bool { return nexts[i].Name < nexts[j].Name })
+		for _, t := range nexts {
+			if _, ok := chains[t]; ok {
+				continue
+			}
+			chains[t] = append(append([]string{}, chains[n]...), t.Name)
+			queue = append(queue, t)
+		}
+	}
+	return chains
+}
+
+// opaqueCallDesc classifies a call site the hot-path walk cannot see
+// through; "" means the call is safe to cross (module-static, followed by
+// the reachability walk) or known clean.
+func opaqueCallDesc(cs *CallSite) string {
+	if cs.Static != nil {
+		return "" // followed by the walk
+	}
+	if cs.External != nil && !cs.Unknown {
+		fn := cs.External
+		pkg := ""
+		if fn.Pkg() != nil {
+			pkg = fn.Pkg().Path()
+		}
+		if allocCleanPkgs[pkg] {
+			return ""
+		}
+		if pkg == "sync" && allocCleanSyncMethods[fn.Name()] {
+			return ""
+		}
+		if pkg == "encoding/binary" {
+			// The ByteOrder implementations (littleEndian/bigEndian
+			// methods) shuffle bytes in caller-provided buffers and never
+			// allocate; binary.Read/Write (reflective, allocating) are
+			// package functions, not methods, so they stay opaque.
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return ""
+			}
+		}
+		return cs.Desc + " (external, assumed allocating)"
+	}
+	return cs.Desc + " (dynamic, may reach unknown code)"
+}
+
+// coldSpans collects the lexical spans of n's body that are off the
+// measured path: return statements of error-returning functions (failure
+// construction) and panic arguments.
+func coldSpans(n *FuncNode) [][2]ast.Node {
+	var spans [][2]ast.Node
+	errReturning := false
+	var sig *types.Signature
+	if n.Obj != nil {
+		sig, _ = n.Obj.Type().(*types.Signature)
+	} else if n.Lit != nil {
+		if t := n.Pkg.Info.TypeOf(n.Lit); t != nil {
+			sig, _ = t.(*types.Signature)
+		}
+	}
+	if sig != nil {
+		for i := 0; i < sig.Results().Len(); i++ {
+			if isErrorType(sig.Results().At(i).Type()) {
+				errReturning = true
+			}
+		}
+	}
+	walkSkipFuncLit(n.Body, func(c ast.Node) bool {
+		switch s := c.(type) {
+		case *ast.ReturnStmt:
+			if errReturning {
+				spans = append(spans, [2]ast.Node{s, s})
+			}
+		case *ast.CallExpr:
+			if id, ok := unparen(s.Fun).(*ast.Ident); ok {
+				if b, ok := n.Pkg.Info.Uses[id].(*types.Builtin); ok && b.Name() == "panic" {
+					spans = append(spans, [2]ast.Node{s, s})
+				}
+			}
+		}
+		return true
+	})
+	return spans
+}
+
+func inSpans(spans [][2]ast.Node, node ast.Node) bool {
+	for _, sp := range spans {
+		if node.Pos() >= sp[0].Pos() && node.End() <= sp[1].End() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestHotPathRoster proves the tamper check: a caller-supplied roster
+// entry whose function exists but lost its //ndavet:hotpath annotation
+// is a finding, and so is a roster entry naming nothing (a silently
+// renamed hot function). This is what makes deleting an annotation turn
+// make lint red instead of quietly un-pinning the 0 B/op window.
+func TestHotPathRoster(t *testing.T) {
+	m, err := Load("testdata/corpus")
+	if err != nil {
+		t.Fatalf("load corpus: %v", err)
+	}
+	report, err := RunAll(m, Config{
+		Contract: corpusContract,
+		Passes:   []string{"alloclint"},
+		HotPathRoster: []string{
+			"corpus/hot.NotAnnotated", // exists, not annotated
+			"corpus/hot.Vanished",     // no such function
+		},
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	var missing, unknown bool
+	for _, f := range report.Open() {
+		if f.Kind != "roster" {
+			continue
+		}
+		switch {
+		case strings.Contains(f.Message, "corpus/hot.NotAnnotated") &&
+			strings.Contains(f.Message, "missing its //ndavet:hotpath annotation"):
+			missing = true
+		case strings.Contains(f.Message, "corpus/hot.Vanished") &&
+			strings.Contains(f.Message, "no such function"):
+			unknown = true
+		}
+	}
+	if !missing {
+		t.Error("deleted annotation on a rostered function produced no roster finding")
+	}
+	if !unknown {
+		t.Error("roster entry naming a vanished function produced no roster finding")
+	}
+}
+
+// TestDefaultRosterCoversRepo pins the production roster itself: every
+// DefaultHotPathRoster entry must resolve to an annotated function in
+// this repository, so renames cannot silently drop the static gate.
+func TestDefaultRosterCoversRepo(t *testing.T) {
+	m, err := Load("../..")
+	if err != nil {
+		t.Fatalf("load repo: %v", err)
+	}
+	g := BuildCallGraph(m)
+	for _, name := range DefaultHotPathRoster {
+		n := g.NodeByName(name)
+		if n == nil {
+			t.Errorf("roster entry %s names no function in the repo", name)
+			continue
+		}
+		if !n.HotPath {
+			t.Errorf("roster entry %s is missing its //ndavet:hotpath annotation", name)
+		}
+	}
+}

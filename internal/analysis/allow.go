@@ -9,13 +9,16 @@ import (
 
 // The annotation grammar, one comment per exception:
 //
-//	//ndavet:allow <pass> <reason>
+//	//ndavet:allow <pass>[:<kind>] <reason>
 //
 // placed on the flagged line or on its own line immediately above it. The
-// pass name must be one of the registered passes, and the reason is mandatory —
+// pass name must be one of the registered passes, the optional kind one of
+// that pass's finding kinds (see PassKinds), and the reason is mandatory —
 // every sanctioned exception documents itself in-source. An annotation
 // that grants nothing is itself a finding ("allow" pass), so stale
-// exceptions cannot linger after the code they excused is fixed.
+// exceptions cannot linger after the code they excused is fixed; a
+// kind-pinned annotation goes stale as soon as its line stops producing
+// that exact finding kind, even if the pass still fires there.
 const allowPrefix = "ndavet:allow"
 
 // allowEntry is one parsed //ndavet:allow annotation.
@@ -23,6 +26,7 @@ type allowEntry struct {
 	file   string
 	line   int
 	pass   string
+	kind   string // "" grants any kind of the pass
 	reason string
 	used   bool
 }
@@ -43,22 +47,29 @@ func collectAllows(m *Module, passNames map[string]bool) (entries []*allowEntry,
 					}
 					file, line, col := m.Rel(c.Pos())
 					rest := strings.TrimSpace(strings.TrimPrefix(text, allowPrefix))
-					pass, reason, _ := strings.Cut(rest, " ")
+					spec, reason, _ := strings.Cut(rest, " ")
 					reason = strings.TrimSpace(reason)
+					pass, kind, _ := strings.Cut(spec, ":")
 					switch {
 					case !passNames[pass]:
 						malformed = append(malformed, Finding{
 							File: file, Line: line, Col: col, Tool: "ndavet", Pass: "allow",
-							Message: "malformed annotation: want //ndavet:allow <pass> <reason> with pass one of " +
+							Message: "malformed annotation: want //ndavet:allow <pass>[:<kind>] <reason> with pass one of " +
 								passList(passNames) + ", got pass " + quoteOr(pass),
+						})
+					case kind != "" && !validKind(pass, kind):
+						malformed = append(malformed, Finding{
+							File: file, Line: line, Col: col, Tool: "ndavet", Pass: "allow",
+							Message: "malformed annotation: pass " + pass + " has no finding kind \"" + kind +
+								"\" (have " + strings.Join(PassKinds[pass], "|") + ")",
 						})
 					case reason == "":
 						malformed = append(malformed, Finding{
 							File: file, Line: line, Col: col, Tool: "ndavet", Pass: "allow",
-							Message: "malformed annotation: //ndavet:allow " + pass + " needs a reason",
+							Message: "malformed annotation: //ndavet:allow " + spec + " needs a reason",
 						})
 					default:
-						entries = append(entries, &allowEntry{file: file, line: line, pass: pass, reason: reason})
+						entries = append(entries, &allowEntry{file: file, line: line, pass: pass, kind: kind, reason: reason})
 					}
 				}
 			}
@@ -102,6 +113,9 @@ func applyAllows(findings []Finding, entries []*allowEntry) []Finding {
 			continue
 		}
 		for _, e := range byKey[key(f.File, f.Line, f.Pass)] {
+			if e.kind != "" && e.kind != f.Kind {
+				continue
+			}
 			e.used = true
 			f.Allowed = true
 			f.Reason = e.reason
@@ -110,18 +124,40 @@ func applyAllows(findings []Finding, entries []*allowEntry) []Finding {
 	}
 	for _, e := range entries {
 		if !e.used {
+			spec := e.pass
+			if e.kind != "" {
+				spec += ":" + e.kind
+			}
 			findings = append(findings, Finding{
 				File: e.file, Line: e.line, Tool: "ndavet", Pass: "allow",
-				Message: "unused //ndavet:allow " + e.pass + " annotation: no " + e.pass +
-					" finding on this or the next line (fixed code? drop the annotation)",
+				Message: "unused //ndavet:allow " + spec + " annotation: no " + spec +
+					" finding on this or the next line (fixed code? drop or re-pin the annotation)",
 			})
 		}
 	}
 	return findings
 }
 
+// validKind reports whether kind is registered for pass in PassKinds.
+func validKind(pass, kind string) bool {
+	for _, k := range PassKinds[pass] {
+		if k == kind {
+			return true
+		}
+	}
+	return false
+}
+
 // nodeLine is a convenience for passes placing findings at a node.
 func (m *Module) finding(pass string, node ast.Node, msg string) Finding {
 	file, line, col := m.Rel(node.Pos())
 	return Finding{File: file, Line: line, Col: col, Tool: "ndavet", Pass: pass, Message: msg}
+}
+
+// kfinding is the kind-carrying variant every pass uses; finding (above)
+// remains for the corpus-less "allow" pass plumbing.
+func (m *Module) kfinding(pass, kind string, node ast.Node, msg string) Finding {
+	f := m.finding(pass, node, msg)
+	f.Kind = kind
+	return f
 }

@@ -6,8 +6,37 @@ import (
 	"go/types"
 )
 
-// PassNames lists the five ndavet passes in census order.
-var PassNames = []string{"detlint", "errlint", "globlint", "layerlint", "locklint"}
+// PassNames lists the eight ndavet passes in census order.
+var PassNames = []string{
+	"alloclint", "ctxlint", "detlint", "errlint",
+	"globlint", "layerlint", "leaklint", "locklint",
+}
+
+// PassDocs gives each pass its one-line description (ndavet -list-passes).
+var PassDocs = map[string]string{
+	"alloclint": "//ndavet:hotpath functions must not reach an allocating operation (interprocedural)",
+	"ctxlint":   "blocking work reachable from a handler entry point must see a cancellation signal (interprocedural)",
+	"detlint":   "no wall-clock reads, global randomness, or map-iteration-ordered output",
+	"errlint":   "no silently dropped error returns in the service layer",
+	"globlint":  "no mutable package-level state in deterministic packages",
+	"layerlint": "imports must follow the declared layer contract",
+	"leaklint":  "every go statement needs a visible termination path (interprocedural)",
+	"locklint":  "no blocking operations — lexical or transitive — under a held mutex",
+}
+
+// PassKinds registers each pass's finding kinds. //ndavet:allow
+// annotations may pin themselves to one (<pass>:<kind>); an annotation
+// naming an unregistered kind is malformed.
+var PassKinds = map[string][]string{
+	"alloclint": {"call", "op", "roster"},
+	"ctxlint":   {"noctx"},
+	"detlint":   {"maporder", "rand", "wallclock"},
+	"errlint":   {"drop"},
+	"globlint":  {"addr", "write"},
+	"layerlint": {"contract", "import"},
+	"leaklint":  {"dynamic", "leak"},
+	"locklint":  {"lexical", "transitive"},
+}
 
 // Config selects what a run checks.
 type Config struct {
@@ -15,6 +44,11 @@ type Config struct {
 	Contract []Rule
 	// Passes restricts the run to a subset of PassNames; nil means all.
 	Passes []string
+	// HotPathRoster lists function node names that must carry the
+	// //ndavet:hotpath annotation (alloclint's tamper check). nil means
+	// DefaultHotPathRoster when analyzing this repo's own module, and an
+	// empty roster for any other module.
+	HotPathRoster []string
 }
 
 // RunAll executes the configured passes over a loaded module and returns
@@ -46,7 +80,20 @@ func RunAll(m *Module, cfg Config) (*Report, error) {
 		}
 	}
 
+	// The interprocedural passes share one call graph (and its dataflow
+	// summaries); build it only when one of them is selected.
+	var g *CallGraph
+	if selected["alloclint"] || selected["ctxlint"] || selected["leaklint"] || selected["locklint"] {
+		g = BuildCallGraph(m)
+	}
+
 	var findings []Finding
+	if selected["alloclint"] {
+		findings = append(findings, runAlloclint(m, g, cfg.HotPathRoster)...)
+	}
+	if selected["ctxlint"] {
+		findings = append(findings, runCtxlint(m, idx, g)...)
+	}
 	if selected["detlint"] {
 		findings = append(findings, runDetlint(m)...)
 	}
@@ -59,8 +106,11 @@ func RunAll(m *Module, cfg Config) (*Report, error) {
 	if selected["layerlint"] {
 		findings = append(findings, runLayerlint(m, contract, idx)...)
 	}
+	if selected["leaklint"] {
+		findings = append(findings, runLeaklint(m, idx, g)...)
+	}
 	if selected["locklint"] {
-		findings = append(findings, runLocklint(m, idx)...)
+		findings = append(findings, runLocklint(m, idx, g)...)
 	}
 
 	entries, malformed := collectAllows(m, all)
@@ -182,9 +232,12 @@ func eachFuncBody(p *Pkg, fn func(name string, body *ast.BlockStmt)) {
 
 // walkSkipFuncLit walks the statements under n in source order, not
 // descending into nested function literals (each gets its own analysis).
+// The literal node itself is still visited, so callers can note that a
+// closure exists without seeing inside it.
 func walkSkipFuncLit(n ast.Node, visit func(ast.Node) bool) {
 	ast.Inspect(n, func(c ast.Node) bool {
 		if _, ok := c.(*ast.FuncLit); ok && c != n {
+			visit(c)
 			return false
 		}
 		return visit(c)

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+)
+
+// loadShapes builds the call graph over the shapes corpus once per test.
+func loadShapes(t *testing.T) *CallGraph {
+	t.Helper()
+	m, err := Load("testdata/shapes")
+	if err != nil {
+		t.Fatalf("load shapes: %v", err)
+	}
+	return BuildCallGraph(m)
+}
+
+// node is a fatal-on-missing NodeByName lookup.
+func node(t *testing.T, g *CallGraph, name string) *FuncNode {
+	t.Helper()
+	n := g.NodeByName(name)
+	if n == nil {
+		t.Fatalf("call graph has no node %q", name)
+	}
+	return n
+}
+
+func TestCallGraphMutualRecursion(t *testing.T) {
+	g := loadShapes(t)
+	even := node(t, g, "shapes/s.Even")
+	odd := node(t, g, "shapes/s.Odd")
+	if !g.SameSCC(even, odd) {
+		t.Error("Even and Odd are mutually recursive but landed in different SCCs")
+	}
+	reach := g.StaticReachableFrom(even)
+	if _, ok := reach[odd]; !ok {
+		t.Error("Odd not statically reachable from Even")
+	}
+	if chain, ok := reach[even]; !ok || len(chain) != 0 {
+		t.Errorf("root chain = %v, want present and empty", chain)
+	}
+}
+
+func TestCallGraphInterfaceDispatch(t *testing.T) {
+	g := loadShapes(t)
+	disp := node(t, g, "shapes/s.Dispatch")
+	if len(disp.Calls) != 1 {
+		t.Fatalf("Dispatch has %d call sites, want 1", len(disp.Calls))
+	}
+	cs := disp.Calls[0]
+	if cs.Static != nil {
+		t.Error("interface call resolved to a static target")
+	}
+	if !cs.Unknown {
+		t.Error("interface call not marked Unknown (external implementers are always possible)")
+	}
+	want := map[string]bool{"shapes/s.(A).Run": false, "shapes/s.(*B).Run": false}
+	for _, c := range cs.Candidates {
+		if _, ok := want[c.Name]; ok {
+			want[c.Name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Errorf("CHA candidates missing implementer %s (have %d candidates)", name, len(cs.Candidates))
+		}
+	}
+
+	// The dynamic site fans out in ReachableFrom but not in the
+	// static-only walk alloclint uses.
+	if _, ok := g.ReachableFrom(disp)[node(t, g, "shapes/s.(A).Run")]; !ok {
+		t.Error("ReachableFrom did not follow the interface candidates")
+	}
+	if _, ok := g.StaticReachableFrom(disp)[node(t, g, "shapes/s.(A).Run")]; ok {
+		t.Error("StaticReachableFrom followed a dynamic edge")
+	}
+}
+
+func TestCallGraphMethodValue(t *testing.T) {
+	g := loadShapes(t)
+	cv := node(t, g, "shapes/s.CallValue")
+	if len(cv.Calls) != 1 {
+		t.Fatalf("CallValue has %d call sites, want 1", len(cv.Calls))
+	}
+	cs := cv.Calls[0]
+	if cs.Static != nil {
+		t.Error("func-value call resolved to a static target")
+	}
+	found := false
+	for _, c := range cs.Candidates {
+		if c.Name == "shapes/s.(*Counter).Inc" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("func() candidates missing the method value (*Counter).Inc; have %d candidates", len(cs.Candidates))
+	}
+}
+
+func TestCallGraphGoLiteralCapture(t *testing.T) {
+	g := loadShapes(t)
+	sc := node(t, g, "shapes/s.SpawnCapture")
+	var spawn *CallSite
+	for _, cs := range sc.Calls {
+		if cs.Go {
+			spawn = cs
+		}
+	}
+	if spawn == nil {
+		t.Fatal("SpawnCapture's go statement produced no call site")
+	}
+	if spawn.Static == nil || spawn.Static.Lit == nil {
+		t.Fatal("go func(){...}() did not resolve statically to the literal's node")
+	}
+	if !strings.Contains(spawn.Static.Name, "SpawnCapture.func@") {
+		t.Errorf("literal node name = %q, want enclosing-scoped func@ name", spawn.Static.Name)
+	}
+	// The capture is charged to the enclosing function's summary.
+	foundCapture := false
+	for _, op := range sc.summary.allocOps {
+		if strings.Contains(op.desc, "closure captures") {
+			foundCapture = true
+		}
+	}
+	if !foundCapture {
+		t.Error("capturing literal not recorded as an allocation in the enclosing summary")
+	}
+}
+
+func TestCallGraphGenericInstantiation(t *testing.T) {
+	g := loadShapes(t)
+	use := node(t, g, "shapes/s.UseMap")
+	mp := node(t, g, "shapes/s.Map")
+	if _, ok := g.StaticReachableFrom(use)[mp]; !ok {
+		t.Error("Map[int] instantiation did not resolve to the generic's node via Origin")
+	}
+	// double is passed as a func value to Map's f parameter; Map's f(x)
+	// call must list it as a candidate.
+	var dyn *CallSite
+	for _, cs := range mp.Calls {
+		if cs.Static == nil && cs.External == nil {
+			dyn = cs
+		}
+	}
+	if dyn == nil {
+		t.Fatal("Map has no dynamic call site for f(x)")
+	}
+	found := false
+	for _, c := range dyn.Candidates {
+		if c.Name == "shapes/s.double" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("f(x) candidates missing address-taken double; have %d candidates", len(dyn.Candidates))
+	}
+}

@@ -1,0 +1,113 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ctxlint checks that blocking work reachable from a service entry point
+// can actually be cancelled. An entry point is a function in a
+// Service-class package that already holds a cancellation signal — an
+// http.Handler-shaped function or literal (it has r.Context()), or an
+// exported function taking a context.Context. From each entry the pass
+// follows the call graph; a blocking operation (channel op outside a
+// defaulted select, select without default, Wait/Acquire, network or
+// disk I/O, time.Sleep) that sits in a function with NO signal in scope
+// is a finding: the request context stopped being plumbed somewhere
+// above it, so that wait cannot be interrupted when the caller gives up.
+//
+// The dataflow layer computes this as the noCtxBlock summary bit, folded
+// bottom-up, so the pass itself is a lookup: entry reachable to a
+// ctx-less blocking witness → report at the witness, with the chain.
+// Dynamic dispatch contributes the enumerated module candidates
+// (documented precision tradeoff; alloclint is the worst-case pass).
+//
+// Kind: "noctx".
+func runCtxlint(m *Module, idx map[string]*Rule, g *CallGraph) []Finding {
+	var out []Finding
+	seen := map[string]bool{}
+	for _, n := range g.Nodes {
+		if classOf(idx, n.Pkg.Path) != Service || !isEntryPoint(n) {
+			continue
+		}
+		if n.summary.noCtxBlock == nil {
+			continue
+		}
+		w := n.summary.noCtxBlock
+		file, line, col := m.Rel(w.pos)
+		k := file + ":" + strconv.Itoa(line) + ":" + strconv.Itoa(col)
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		owner := shortName(m, n.Name)
+		if len(w.via) > 0 {
+			owner = shortName(m, w.via[len(w.via)-1])
+		}
+		f := Finding{
+			File: file, Line: line, Col: col, Tool: "ndavet", Pass: "ctxlint", Kind: "noctx",
+			Message: w.desc + " in " + owner + " has no context or done channel in scope, but is reachable from entry point " +
+				chainString(m, n.Name, w.via) + "; plumb the request context down so the wait can be cancelled",
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// isEntryPoint recognizes the functions where a request context is born
+// or handed in: handler-shaped functions and literals (an
+// http.ResponseWriter plus *http.Request parameter pair), and exported
+// declared functions with a context.Context parameter.
+func isEntryPoint(n *FuncNode) bool {
+	var sig *types.Signature
+	switch {
+	case n.Obj != nil:
+		sig, _ = n.Obj.Type().(*types.Signature)
+	case n.Lit != nil:
+		if t := n.Pkg.Info.TypeOf(n.Lit); t != nil {
+			sig, _ = t.(*types.Signature)
+		}
+	}
+	if sig == nil {
+		return false
+	}
+	if isHandlerShape(sig) {
+		return true
+	}
+	if n.Obj == nil || !ast.IsExported(n.Obj.Name()) {
+		return false
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContextType(sig.Params().At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// isHandlerShape matches func(w http.ResponseWriter, r *http.Request).
+func isHandlerShape(sig *types.Signature) bool {
+	p := sig.Params()
+	if p.Len() != 2 {
+		return false
+	}
+	return isNamedType(p.At(0).Type(), "net/http", "ResponseWriter") &&
+		isNamedPtrType(p.At(1).Type(), "net/http", "Request")
+}
+
+func isContextType(t types.Type) bool { return isNamedType(t, "context", "Context") }
+
+func isNamedType(t types.Type, path, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil && obj.Pkg().Path() == path && obj.Name() == name
+}
+
+func isNamedPtrType(t types.Type, path, name string) bool {
+	ptr, ok := t.(*types.Pointer)
+	return ok && isNamedType(ptr.Elem(), path, name)
+}

@@ -48,7 +48,7 @@ func detClockAndRand(m *Module, p *Pkg) []Finding {
 			switch pkgPathOf(obj) {
 			case "time":
 				if name := obj.Name(); name == "Now" || name == "Since" {
-					out = append(out, m.finding("detlint", call,
+					out = append(out, m.kfinding("detlint", "wallclock", call,
 						"time."+name+" reads the wall clock; deterministic outputs must not depend on it"))
 				}
 			case "math/rand", "math/rand/v2":
@@ -59,7 +59,7 @@ func detClockAndRand(m *Module, p *Pkg) []Finding {
 					return true // methods on an explicit *rand.Rand are seeded and fine
 				}
 				if name := obj.Name(); name != "New" && name != "NewSource" {
-					out = append(out, m.finding("detlint", call,
+					out = append(out, m.kfinding("detlint", "rand", call,
 						"math/rand."+obj.Name()+" draws from the process-global source; use rand.New(rand.NewSource(seed)) for replayable randomness"))
 				}
 			}
@@ -122,7 +122,7 @@ func detMapOrder(m *Module, p *Pkg, body *ast.BlockStmt) []Finding {
 				if s.Tok == token.ADD_ASSIGN && len(s.Lhs) == 1 {
 					if lt := p.Info.TypeOf(s.Lhs[0]); lt != nil {
 						if b, ok := lt.Underlying().(*types.Basic); ok && b.Info()&types.IsString != 0 {
-							out = append(out, m.finding("detlint", s,
+							out = append(out, m.kfinding("detlint", "maporder", s,
 								"string built up across iteration of map "+mapStr+"; iteration order is random — collect and sort instead"))
 						}
 					}
@@ -140,12 +140,12 @@ func detMapOrder(m *Module, p *Pkg, body *ast.BlockStmt) []Finding {
 					return true
 				}
 				if pkgPathOf(obj) == "fmt" && orderedPrintFns[obj.Name()] {
-					out = append(out, m.finding("detlint", s,
+					out = append(out, m.kfinding("detlint", "maporder", s,
 						"fmt."+obj.Name()+" inside iteration of map "+mapStr+"; iteration order is random — sort the keys first"))
 					return true
 				}
 				if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil && orderedWriteMethods[obj.Name()] {
-					out = append(out, m.finding("detlint", s,
+					out = append(out, m.kfinding("detlint", "maporder", s,
 						obj.Name()+" inside iteration of map "+mapStr+"; iteration order is random — sort the keys first"))
 				}
 			}
@@ -153,7 +153,7 @@ func detMapOrder(m *Module, p *Pkg, body *ast.BlockStmt) []Finding {
 		})
 		for _, a := range appends {
 			if !sortedAfter(p.Info, body, a.site, a.target) {
-				out = append(out, m.finding("detlint", a.site,
+				out = append(out, m.kfinding("detlint", "maporder", a.site,
 					"values from iteration of map "+mapStr+" are appended to "+a.target+
 						", which is never sorted in this function; the slice order is random"))
 			}

@@ -58,7 +58,7 @@ func errlintCall(m *Module, p *Pkg, call *ast.CallExpr, ctx string) []Finding {
 	if !returnsError(p.Info, call) || exemptWriter(p.Info, call) {
 		return nil
 	}
-	return []Finding{m.finding("errlint", call,
+	return []Finding{m.kfinding("errlint", "drop", call,
 		ctx+"call drops its error return; handle it or assign to _ explicitly")}
 }
 

@@ -84,12 +84,12 @@ func runGloblint(m *Module, idx map[string]*Rule) []Finding {
 						}
 						if pos, ok := writes[obj]; ok {
 							file, line, _ := m.Rel(pos)
-							out = append(out, m.finding("globlint", name,
+							out = append(out, m.kfinding("globlint", "write", name,
 								"package-level var "+name.Name+" is mutated (e.g. at "+file+":"+strconv.Itoa(line)+
 									"); deterministic packages must not carry mutable state"))
 						} else if pos, ok := addrs[obj]; ok {
 							file, line, _ := m.Rel(pos)
-							out = append(out, m.finding("globlint", name,
+							out = append(out, m.kfinding("globlint", "addr", name,
 								"package-level var "+name.Name+" has its address taken (at "+file+":"+strconv.Itoa(line)+
 									"), so it may be mutated; deterministic packages must not carry mutable state"))
 						}

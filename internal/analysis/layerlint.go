@@ -17,7 +17,7 @@ func runLayerlint(m *Module, contract []Rule, idx map[string]*Rule) []Finding {
 
 	if cyc := contractCycle(contract); cyc != "" {
 		out = append(out, Finding{
-			File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+			File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint", Kind: "contract",
 			Message: "layer contract declares an import cycle: " + cyc,
 		})
 	}
@@ -25,14 +25,14 @@ func runLayerlint(m *Module, contract []Rule, idx map[string]*Rule) []Finding {
 		r := &contract[i]
 		if m.ByPath[r.Path] == nil {
 			out = append(out, Finding{
-				File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+				File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint", Kind: "contract",
 				Message: "layer contract lists " + r.Path + " but the module has no such package",
 			})
 		}
 		for _, dep := range r.Allow {
 			if idx[dep] == nil {
 				out = append(out, Finding{
-					File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint",
+					File: "internal/analysis/layers.go", Tool: "ndavet", Pass: "layerlint", Kind: "contract",
 					Message: "layer contract for " + r.Path + " allows " + dep + ", which the contract does not declare",
 				})
 			}
@@ -43,7 +43,7 @@ func runLayerlint(m *Module, contract []Rule, idx map[string]*Rule) []Finding {
 		rule := idx[p.Path]
 		if rule == nil {
 			if len(p.Files) > 0 {
-				out = append(out, m.finding("layerlint", p.Files[0].Name,
+				out = append(out, m.kfinding("layerlint", "contract", p.Files[0].Name,
 					"package "+p.Path+" is not declared in the layer contract (internal/analysis/layers.go)"))
 			}
 			continue
@@ -61,14 +61,14 @@ func runLayerlint(m *Module, contract []Rule, idx map[string]*Rule) []Finding {
 				}
 				if ip == m.Path || strings.HasPrefix(ip, m.Path+"/") {
 					if !allowed[ip] {
-						out = append(out, m.finding("layerlint", imp,
+						out = append(out, m.kfinding("layerlint", "import", imp,
 							p.Path+" must not import "+ip+" (not in its layer contract; class "+string(rule.Class)+")"))
 					}
 					continue
 				}
 				for _, prefix := range denied {
 					if ip == prefix || strings.HasPrefix(ip, prefix+"/") {
-						out = append(out, m.finding("layerlint", imp,
+						out = append(out, m.kfinding("layerlint", "import", imp,
 							p.Path+" ("+string(rule.Class)+" class) must not import "+ip))
 						break
 					}

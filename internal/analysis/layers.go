@@ -131,7 +131,7 @@ var DefaultContract = []Rule{
 		"nda/internal/ooo"}},
 	{Path: "nda/cmd/ndalint", Class: CLI, Allow: []string{
 		"nda/internal/analysis", "nda/internal/diffuzz", "nda/internal/gadget"}},
-	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{"nda/internal/analysis"}},
+	{Path: "nda/cmd/ndavet", Class: CLI, Allow: []string{"nda/internal/analysis", "nda/internal/cliutil"}},
 	{Path: "nda/cmd/ndaserve", Class: CLI, Allow: []string{
 		"nda/internal/cliutil", "nda/internal/dist", "nda/internal/serve", "nda/internal/store",
 		"nda/internal/tenant"}},

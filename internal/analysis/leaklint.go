@@ -1,0 +1,71 @@
+package analysis
+
+// leaklint checks that every goroutine spawned in the service and
+// concurrency layers has a visible termination path. A go statement is
+// accepted when the spawned function (or, for dynamic spawns, every
+// enumerated module candidate):
+//
+//   - has a cancellation signal in scope — a context.Context, channel, or
+//     *http.Request parameter, receiver field, or captured variable (the
+//     ctx/done idiom), or
+//   - joins a WaitGroup ((*sync.WaitGroup).Done in its body), or
+//   - provably terminates on its own: no unbounded loop and no blocking
+//     operation, transitively.
+//
+// Anything else is a goroutine that can outlive its work invisibly — the
+// scheduler/SSE/coordinator leak class this pass exists to catch.
+//
+// Precision note: a spawn through an interface or func value restricts
+// itself to the call graph's enumerated module candidates; a dynamic
+// spawn with no candidates at all is reported as kind "dynamic" rather
+// than silently trusted. Kinds: "leak", "dynamic".
+func runLeaklint(m *Module, idx map[string]*Rule, g *CallGraph) []Finding {
+	var out []Finding
+	for _, n := range g.Nodes {
+		switch classOf(idx, n.Pkg.Path) {
+		case Service, Concurrency:
+		default:
+			continue
+		}
+		for _, cs := range n.Calls {
+			if !cs.Go {
+				continue
+			}
+			targets := cs.Targets()
+			if len(targets) == 0 {
+				out = append(out, m.kfinding("leaklint", "dynamic", cs.Call,
+					"go statement spawns "+cs.Desc+"; the target cannot be resolved, so no termination path is visible"))
+				continue
+			}
+			for _, t := range targets {
+				if w := leakWitness(t); w != nil {
+					out = append(out, m.kfinding("leaklint", "leak", cs.Call,
+						"go statement spawns "+shortName(m, t.Name)+" with no visible termination path: "+
+							w.describe(m)+"; give it a ctx/done parameter, a bound, or a WaitGroup join"))
+					break // one finding per go statement
+				}
+			}
+		}
+	}
+	return out
+}
+
+// leakWitness returns why the spawned function may never terminate, or
+// nil when a termination path is visible.
+func leakWitness(t *FuncNode) *xWitness {
+	s := t.summary
+	if s.hasCtx || s.wgDone {
+		return nil
+	}
+	if s.loops != nil {
+		return s.loops
+	}
+	if s.blocks != nil {
+		return s.blocks
+	}
+	return nil
+}
+
+func shortName(m *Module, name string) string {
+	return chainString(m, name, nil)
+}

@@ -9,29 +9,33 @@ import (
 )
 
 // locklint flags sync.Mutex/RWMutex critical sections that span blocking
-// operations in the service and concurrency layers (serve, dist, par). A
-// lock held across a channel operation, a select without a default, a
-// WaitGroup/Cond Wait, a semaphore Acquire, an HTTP round-trip, or a
-// time.Sleep turns every other goroutine contending for that lock into a
-// hostage of the slow path — the classic way a "bounded" service seizes
-// up under load.
+// operations in the service and concurrency layers (serve, dist, store,
+// tenant, load, par). A lock held across a channel operation, a select
+// without a default, a WaitGroup/Cond Wait, a semaphore Acquire, an HTTP
+// round-trip, disk I/O, or a time.Sleep turns every other goroutine
+// contending for that lock into a hostage of the slow path — the classic
+// way a "bounded" service seizes up under load.
 //
-// The analysis is lexical and intra-procedural: a critical section runs
+// v2 (the interprocedural upgrade): a critical section is still lexical —
 // from X.Lock() to the next X.Unlock() on the same receiver expression in
-// source order, or to the end of the function when the unlock is
-// deferred (or absent). Channel operations guarded by a select that has a
-// default case are non-blocking and not flagged.
-func runLocklint(m *Module, idx map[string]*Rule) []Finding {
+// source order, or to the end of the function when the unlock is deferred
+// (or absent) — but the blocking events inside it now include calls to
+// module functions that *transitively* block, resolved through the call
+// graph's static edges with the dataflow blocks summary. Channel
+// operations guarded by a select that has a default case remain
+// non-blocking and are not flagged.
+//
+// Kinds: "lexical" (the operation is in the locked body itself),
+// "transitive" (the operation is below a static call made under the lock).
+func runLocklint(m *Module, idx map[string]*Rule, g *CallGraph) []Finding {
 	var out []Finding
-	for _, p := range m.Pkgs {
-		switch classOf(idx, p.Path) {
+	for _, n := range g.Nodes {
+		switch classOf(idx, n.Pkg.Path) {
 		case Service, Concurrency:
 		default:
 			continue
 		}
-		eachFuncBody(p, func(name string, body *ast.BlockStmt) {
-			out = append(out, lockSections(m, p, name, body)...)
-		})
+		out = append(out, lockSections(m, n)...)
 	}
 	return out
 }
@@ -46,15 +50,20 @@ type lockEvent struct {
 
 type blockEvent struct {
 	node ast.Node
+	kind string
 	desc string
 }
 
 // lockSections scans one function body and reports blocking operations
 // positioned inside a lexical critical section.
-func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Finding {
-	var locks []lockEvent
-	var blocks []blockEvent
+func lockSections(m *Module, n *FuncNode) []Finding {
+	p := n.Pkg
+	fname := "func literal"
+	if n.Decl != nil {
+		fname = n.Decl.Name.Name
+	}
 
+	var locks []lockEvent
 	noteLock := func(call *ast.CallExpr, deferred bool) bool {
 		sel, ok := unparen(call.Fun).(*ast.SelectorExpr)
 		if !ok {
@@ -77,58 +86,34 @@ func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Findin
 		})
 		return true
 	}
-
-	// selects tracks the spans of select statements that have a default
-	// case; channel operations inside their comm guards are non-blocking.
-	type span struct{ lo, hi token.Pos }
-	var nonBlockingComms []span
-
-	walkSkipFuncLit(body, func(n ast.Node) bool {
-		switch s := n.(type) {
+	walkSkipFuncLit(n.Body, func(c ast.Node) bool {
+		switch s := c.(type) {
 		case *ast.DeferStmt:
 			noteLock(s.Call, true)
-			return true
 		case *ast.CallExpr:
-			if noteLock(s, false) {
-				return true
-			}
-			if desc := blockingCall(p.Info, s); desc != "" {
-				blocks = append(blocks, blockEvent{s, desc})
-			}
-		case *ast.SelectStmt:
-			hasDefault := false
-			for _, clause := range s.Body.List {
-				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm == nil {
-					hasDefault = true
-				}
-			}
-			if !hasDefault {
-				blocks = append(blocks, blockEvent{s, "select with no default case"})
-			}
-			// Comm guards are never flagged on their own: with a default
-			// they are non-blocking, without one the select event above
-			// already reports the wait. Clause bodies run after the select
-			// fires and block like any other code.
-			for _, clause := range s.Body.List {
-				if cc, ok := clause.(*ast.CommClause); ok && cc.Comm != nil {
-					nonBlockingComms = append(nonBlockingComms, span{cc.Comm.Pos(), cc.Comm.End()})
-				}
-			}
-		case *ast.SendStmt:
-			blocks = append(blocks, blockEvent{s, "channel send"})
-		case *ast.UnaryExpr:
-			if s.Op == token.ARROW {
-				blocks = append(blocks, blockEvent{s, "channel receive"})
-			}
-		case *ast.RangeStmt:
-			if t := p.Info.TypeOf(s.X); t != nil {
-				if _, isChan := t.Underlying().(*types.Chan); isChan {
-					blocks = append(blocks, blockEvent{s, "range over channel"})
-				}
-			}
+			noteLock(s, false)
 		}
 		return true
 	})
+
+	// Blocking events: the shared lexical scanner (select-with-default
+	// guards already filtered), plus transitive events at static calls to
+	// module functions whose dataflow summary says they can block.
+	var blocks []blockEvent
+	for _, op := range blockingOpsIn(p, n.Body) {
+		blocks = append(blocks, blockEvent{op.node, "lexical", op.desc})
+	}
+	for _, cs := range n.Calls {
+		// A go statement returns immediately: the spawned work does not
+		// extend the critical section (leaklint owns the spawned side).
+		if cs.Go || cs.Static == nil || blockingCall(p.Info, cs.Call) != "" {
+			continue
+		}
+		if w := cs.Static.summary.blocks; w != nil {
+			blocks = append(blocks, blockEvent{cs.Call, "transitive",
+				"a call to " + shortName(m, cs.Static.Name) + ", which can block: " + w.describe(m)})
+		}
+	}
 
 	var out []Finding
 	for i, lk := range locks {
@@ -137,7 +122,7 @@ func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Findin
 		}
 		// Find the matching unlock: nearest later Unlock/RUnlock on the
 		// same receiver. Deferred unlocks hold until the function returns.
-		end := body.End()
+		end := n.Body.End()
 		for j := i + 1; j < len(locks); j++ {
 			u := locks[j]
 			if u.unlock && u.recv == lk.recv && u.read == lk.read {
@@ -152,17 +137,7 @@ func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Findin
 			if b.node.Pos() <= lk.pos || b.node.Pos() >= end {
 				continue
 			}
-			guarded := false
-			for _, sp := range nonBlockingComms {
-				if b.node.Pos() >= sp.lo && b.node.End() <= sp.hi {
-					guarded = true
-					break
-				}
-			}
-			if guarded {
-				continue
-			}
-			out = append(out, m.finding("locklint", b.node,
+			out = append(out, m.kfinding("locklint", b.kind, b.node,
 				lk.recv+" (locked at line "+strconv.Itoa(lockLine)+" in "+fname+") is held across "+b.desc+
 					"; blocking under a mutex stalls every contender"))
 		}
@@ -172,7 +147,8 @@ func lockSections(m *Module, p *Pkg, fname string, body *ast.BlockStmt) []Findin
 
 // blockingCall classifies calls that can block indefinitely: Wait and
 // Acquire methods (sync.WaitGroup, sync.Cond, par.Sem, semaphores in
-// general), HTTP round-trips, and time.Sleep.
+// general), HTTP round-trips and serve loops, disk and stream I/O,
+// network dials, and time.Sleep.
 func blockingCall(info *types.Info, call *ast.CallExpr) string {
 	obj, _ := calleeOf(info, call)
 	if obj == nil {
@@ -183,9 +159,20 @@ func blockingCall(info *types.Info, call *ast.CallExpr) string {
 		switch name {
 		case "Wait", "Acquire", "RoundTrip":
 			return name + " call"
-		case "Do":
-			if recvT := sig.Recv().Type(); strings.Contains(recvT.String(), "net/http.Client") {
-				return "HTTP round-trip (http.Client.Do)"
+		}
+		recvT := sig.Recv().Type().String()
+		switch {
+		case strings.Contains(recvT, "net/http.Client") && name == "Do":
+			return "HTTP round-trip (http.Client.Do)"
+		case strings.Contains(recvT, "net/http.Server"):
+			switch name {
+			case "Serve", "ListenAndServe", "ListenAndServeTLS":
+				return "HTTP serve loop (http.Server." + name + ")"
+			}
+		case strings.Contains(recvT, "os.File"):
+			switch name {
+			case "Read", "Write", "WriteString", "ReadAt", "WriteAt", "Sync":
+				return "disk I/O (os.File." + name + ")"
 			}
 		}
 		return ""
@@ -195,6 +182,26 @@ func blockingCall(info *types.Info, call *ast.CallExpr) string {
 		switch name {
 		case "Get", "Post", "PostForm", "Head":
 			return "HTTP round-trip (http." + name + ")"
+		}
+	case "net":
+		switch name {
+		case "Dial", "DialTimeout", "Listen":
+			return "network dial (net." + name + ")"
+		}
+	case "os":
+		switch name {
+		case "ReadFile", "WriteFile", "Open", "OpenFile", "Create", "ReadDir", "Remove", "Rename":
+			return "disk I/O (os." + name + ")"
+		}
+	case "io":
+		switch name {
+		case "ReadAll", "Copy":
+			return "stream I/O (io." + name + ")"
+		}
+	case "path/filepath":
+		switch name {
+		case "Walk", "WalkDir":
+			return "disk I/O (filepath." + name + ")"
 		}
 	case "time":
 		if name == "Sleep" {

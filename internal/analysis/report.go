@@ -25,11 +25,16 @@ import (
 // program-level tools (ndalint's Table 2 cross-check) File names the ISA
 // program and Line/Col are zero and elided from the text rendering.
 type Finding struct {
-	File    string `json:"file"`
-	Line    int    `json:"line,omitempty"`
-	Col     int    `json:"col,omitempty"`
-	Tool    string `json:"tool"`
-	Pass    string `json:"pass"`
+	File string `json:"file"`
+	Line int    `json:"line,omitempty"`
+	Col  int    `json:"col,omitempty"`
+	Tool string `json:"tool"`
+	Pass string `json:"pass"`
+	// Kind subdivides a pass's findings (see PassKinds). An
+	// //ndavet:allow annotation may pin itself to a kind with
+	// <pass>:<kind>, so a refactor that swaps one finding kind for
+	// another on the same line cannot silently reuse the old exemption.
+	Kind    string `json:"kind,omitempty"`
 	Message string `json:"message"`
 	// Allowed marks a finding granted by an explicit //ndavet:allow
 	// annotation; allowed findings are reported in the census but do not

@@ -91,6 +91,14 @@ func Render(m map[string]int, b *strings.Builder) {
 	}
 }
 
+// StaleKindPin carries an annotation pinned to the wrong finding kind:
+// the pass fires on the next line, but as "wallclock", so the pinned
+// grant lapses and both the finding and the stale annotation surface.
+func StaleKindPin() int64 {
+	//ndavet:allow detlint:rand pinned to a kind the line no longer produces; want "unused //ndavet:allow detlint:rand"
+	return time.Now().Unix() // want "time.Now reads the wall clock"
+}
+
 // Stale annotation: grants nothing, so it is itself a finding.
 /*ndavet:allow detlint the call this excused was fixed long ago*/ // want "unused"
 

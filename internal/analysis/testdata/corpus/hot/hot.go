@@ -1,0 +1,103 @@
+// Package hot is the alloclint corpus: //ndavet:hotpath functions over
+// allocating operations, clean operations, the cold-span exemption, and
+// the opaque dispatch frontier. NotAnnotated exists for the roster
+// tamper-check test, which supplies a caller roster naming it.
+package hot
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+)
+
+// HotAlloc allocates directly in the annotated body.
+//
+//ndavet:hotpath
+func HotAlloc(n int) int {
+	xs := make([]int, n) // want "make allocates"
+	return len(xs)
+}
+
+// HotGrow appends in the annotated body.
+//
+//ndavet:hotpath
+func HotGrow(xs []int, v int) []int {
+	return append(xs, v) // want "append may grow its backing array"
+}
+
+// HotTransitive is clean itself; the witness sits two static calls down.
+//
+//ndavet:hotpath
+func HotTransitive(n int) string {
+	return helperConcat(n)
+}
+
+func helperConcat(n int) string {
+	s := ""
+	for i := 0; i < n; i++ {
+		s += "x" // want "string concatenation allocates"
+	}
+	return s
+}
+
+// HotCold allocates only while constructing its error return: the
+// cold-span exemption keeps the failure path out of the hot window.
+//
+//ndavet:hotpath
+func HotCold(n int) (int, error) {
+	if n < 0 {
+		return 0, fmt.Errorf("hot: bad n %d", n)
+	}
+	return n, nil
+}
+
+// HotExternal crosses the dispatch frontier into unknown stdlib code.
+//
+//ndavet:hotpath
+func HotExternal(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64) // want "external, assumed allocating"
+}
+
+// HotClean calls a known-allocation-free stdlib package: clean.
+//
+//ndavet:hotpath
+func HotClean(x float64) float64 {
+	return math.Sqrt(x)
+}
+
+// HotDynamic calls through a func value: the frontier itself is the
+// finding, and the walk does not fan out over candidates.
+//
+//ndavet:hotpath
+func HotDynamic(f func() int) int {
+	return f() // want "dynamic, may reach unknown code"
+}
+
+// HotClosure builds a capturing closure and calls it.
+//
+//ndavet:hotpath
+func HotClosure(n int) int {
+	f := func() int { return n } // want "closure captures enclosing variables and allocates"
+	return f()                   // want "dynamic, may reach unknown code"
+}
+
+// HotSpawn allocates a goroutine.
+//
+//ndavet:hotpath
+func HotSpawn(done chan int) {
+	go post(done) // want "go statement allocates a goroutine"
+}
+
+func post(done chan int) { done <- 1 }
+
+// HotAllowed is the sanctioned exception, annotated in-source.
+//
+//ndavet:hotpath
+func HotAllowed(n int) []int {
+	//ndavet:allow alloclint:op corpus example of a sanctioned warm-up allocation in a pinned window
+	return make([]int, n)
+}
+
+// NotAnnotated is deliberately missing the annotation; the roster test
+// names it to prove a deleted //ndavet:hotpath comment turns lint red.
+func NotAnnotated() {}

@@ -1,0 +1,87 @@
+// Package jobs is the corpus stand-in for the serving layer's job
+// machinery: the leaklint spawn cases, the ctxlint entry-point cases,
+// and locklint's transitive (interprocedural) upgrade live here.
+package jobs
+
+import (
+	"net/http"
+	"sync"
+	"time"
+)
+
+// SpawnLeaky fires a worker that spins forever with no signal in scope.
+func SpawnLeaky() {
+	go spin() // want "no visible termination path"
+}
+
+func spin() {
+	for {
+	}
+}
+
+// SpawnBounded hands the worker its stop signal: clean.
+func SpawnBounded(done chan struct{}) {
+	go waitDone(done)
+}
+
+func waitDone(done chan struct{}) {
+	<-done
+}
+
+// SpawnJoined joins through a WaitGroup: clean.
+func SpawnJoined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+	}()
+}
+
+// SpawnDynamic spawns through a func value no module function matches:
+// nothing to analyze, which is itself the finding.
+func SpawnDynamic(f func(int8)) {
+	go f(0) // want "cannot be resolved"
+}
+
+// SpawnAllowed is the sanctioned fire-and-forget exception.
+func SpawnAllowed() {
+	//ndavet:allow leaklint:leak corpus example of a process-lifetime pump that dies with the program
+	go spin()
+}
+
+// Handle is the handler-shaped entry point; the uncancellable wait it
+// reaches through waitForTurn is the finding, reported at the wait.
+func Handle(w http.ResponseWriter, r *http.Request) {
+	waitForTurn()
+}
+
+func waitForTurn() {
+	time.Sleep(time.Millisecond) // want "no context or done channel in scope"
+}
+
+// HandleAllowed reaches a sanctioned uncancellable wait.
+func HandleAllowed(w http.ResponseWriter, r *http.Request) {
+	napBriefly()
+}
+
+func napBriefly() {
+	//ndavet:allow ctxlint:noctx corpus example of a bounded settle delay accepted by design
+	time.Sleep(time.Millisecond)
+}
+
+// Gauge carries the lock for locklint's transitive case.
+type Gauge struct {
+	mu sync.Mutex
+	n  int
+}
+
+// Bump holds the lock across a call that transitively sleeps.
+func (g *Gauge) Bump() {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	g.n++
+	settle() // want "held across a call to jobs.settle"
+}
+
+func settle() {
+	time.Sleep(time.Millisecond)
+}

@@ -1,0 +1,3 @@
+module shapes
+
+go 1.22

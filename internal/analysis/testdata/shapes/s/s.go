@@ -1,0 +1,81 @@
+// Package s exercises the call-graph shapes the resolver has to get
+// right: mutual recursion, interface dispatch with multiple
+// implementers, method values, go-spawned literals capturing locals,
+// and generic instantiation.
+package s
+
+// Even and Odd are mutually recursive: one SCC.
+func Even(n int) bool {
+	if n == 0 {
+		return true
+	}
+	return Odd(n - 1)
+}
+
+// Odd is Even's partner.
+func Odd(n int) bool {
+	if n == 0 {
+		return false
+	}
+	return Even(n - 1)
+}
+
+// Runner has two module implementers, one value and one pointer receiver.
+type Runner interface{ Run() int }
+
+// A implements Runner by value.
+type A struct{}
+
+// Run returns a tag.
+func (A) Run() int { return 1 }
+
+// B implements Runner by pointer.
+type B struct{}
+
+// Run returns a tag.
+func (*B) Run() int { return 2 }
+
+// Dispatch calls through the interface: CHA candidates, Unknown mark.
+func Dispatch(r Runner) int { return r.Run() }
+
+// Counter is the method-value receiver.
+type Counter struct{ n int }
+
+// Inc bumps the counter.
+func (c *Counter) Inc() { c.n++ }
+
+// TakeMethodValue lifts Inc into a func value, making it address-taken.
+func TakeMethodValue(c *Counter) func() {
+	return c.Inc
+}
+
+// CallValue invokes an arbitrary func(): the candidates must include
+// every address-taken module function of that signature.
+func CallValue(f func()) { f() }
+
+// SpawnCapture go-spawns a literal capturing two locals.
+func SpawnCapture() chan int {
+	ch := make(chan int)
+	total := 0
+	go func() {
+		total++
+		ch <- total
+	}()
+	return ch
+}
+
+// Map is the generic the instantiation test resolves through Origin.
+func Map[T any](xs []T, f func(T) T) []T {
+	out := make([]T, 0, len(xs))
+	for _, x := range xs {
+		out = append(out, f(x))
+	}
+	return out
+}
+
+// UseMap instantiates Map[int] and passes double as a func value.
+func UseMap(xs []int) []int {
+	return Map(xs, double)
+}
+
+func double(x int) int { return x * 2 }

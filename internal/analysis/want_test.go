@@ -8,13 +8,17 @@ import (
 
 // corpusContract declares the corpus module's layers: det/detdep are
 // deterministic (detlint, globlint, stdlib restrictions), svc is service
-// (locklint, errlint), progen is deterministic but errlint-covered by
-// path suffix, badlayer is deterministic but sins on purpose, and
-// unlisted is deliberately absent.
+// (locklint, errlint), jobs is service (leaklint, ctxlint, transitive
+// locklint), hot is deterministic (alloclint's hot-path cases), progen
+// is deterministic but errlint-covered by path suffix, badlayer is
+// deterministic but sins on purpose, and unlisted is deliberately
+// absent.
 var corpusContract = []Rule{
 	{Path: "corpus/detdep", Class: Deterministic},
 	{Path: "corpus/det", Class: Deterministic, Allow: []string{"corpus/detdep"}},
 	{Path: "corpus/svc", Class: Service},
+	{Path: "corpus/jobs", Class: Service},
+	{Path: "corpus/hot", Class: Deterministic},
 	{Path: "corpus/progen", Class: Deterministic},
 	{Path: "corpus/badlayer", Class: Deterministic},
 }

@@ -229,6 +229,7 @@ func (r *RAS) Snapshot() RASSnapshot {
 // Snapshot for callers that checkpoint on every call/return.
 func (r *RAS) SnapshotInto(dst *RASSnapshot) {
 	if len(dst.entries) != len(r.entries) {
+		//ndavet:allow alloclint:op resizes the checkpoint buffer only when the configured RAS depth changed; steady-state snapshots reuse it (bench-gated 0 B/op)
 		dst.entries = make([]uint64, len(r.entries))
 	}
 	dst.top, dst.depth = r.top, r.depth
@@ -239,6 +240,7 @@ func (r *RAS) SnapshotInto(dst *RASSnapshot) {
 // is already the right size. dst shares no storage with s afterwards.
 func (s RASSnapshot) CopyInto(dst *RASSnapshot) {
 	if len(dst.entries) != len(s.entries) {
+		//ndavet:allow alloclint:op resizes the copy target only on first use; steady-state checkpoint copies reuse the buffer
 		dst.entries = make([]uint64, len(s.entries))
 	}
 	dst.top, dst.depth = s.top, s.depth

@@ -141,6 +141,41 @@ func StreamMode(s string) (string, error) {
 	return "", fmt.Errorf("stream mode %q invalid: want wait, poll, or sse", s)
 }
 
+// Passes parses a comma-separated -pass list against the known pass
+// names. The empty string means "all" and returns nil; otherwise every
+// entry must name a known pass, duplicates are rejected, and at least
+// one name must survive trimming — "-pass ," is an error, not an
+// accidental full run. Results keep the caller's order.
+func Passes(csv string, known []string) ([]string, error) {
+	if strings.TrimSpace(csv) == "" {
+		return nil, nil
+	}
+	valid := make(map[string]bool, len(known))
+	for _, n := range known {
+		valid[n] = true
+	}
+	var out []string
+	seen := make(map[string]bool)
+	for _, raw := range strings.Split(csv, ",") {
+		name := strings.TrimSpace(raw)
+		if name == "" {
+			continue
+		}
+		if !valid[name] {
+			return nil, fmt.Errorf("unknown pass %q: want one of %s", name, strings.Join(known, ", "))
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("duplicate pass %q", name)
+		}
+		seen[name] = true
+		out = append(out, name)
+	}
+	if len(out) < 1 {
+		return nil, errors.New("-pass given but no pass names in it")
+	}
+	return out, nil
+}
+
 // ExplainErr rewrites context cancellation errors into the message the
 // drivers print ("timed out" / "interrupted"); other errors pass through.
 func ExplainErr(err error) error {

@@ -170,3 +170,25 @@ func TestStreamMode(t *testing.T) {
 		t.Errorf("StreamMode(push) = %v, want error naming the valid modes", err)
 	}
 }
+
+// TestPasses: empty means all (nil); known names pass in caller order;
+// unknown names, duplicates, and all-blank lists are refused.
+func TestPasses(t *testing.T) {
+	known := []string{"alpha", "beta", "gamma"}
+	if got, err := Passes("", known); err != nil || got != nil {
+		t.Errorf("Passes(\"\") = %v, %v; want nil, nil", got, err)
+	}
+	got, err := Passes(" gamma, alpha ", known)
+	if err != nil || len(got) != 2 || got[0] != "gamma" || got[1] != "alpha" {
+		t.Errorf("Passes(gamma,alpha) = %v, %v", got, err)
+	}
+	if _, err := Passes("alpha,delta", known); err == nil || !strings.Contains(err.Error(), "delta") {
+		t.Errorf("unknown pass accepted: %v", err)
+	}
+	if _, err := Passes("alpha,alpha", known); err == nil || !strings.Contains(err.Error(), "duplicate") {
+		t.Errorf("duplicate pass accepted: %v", err)
+	}
+	if _, err := Passes(" , ", known); err == nil {
+		t.Error("all-blank pass list accepted, want error")
+	}
+}

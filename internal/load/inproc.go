@@ -22,6 +22,7 @@ func StartLocal(cfg serve.Config) (base string, mgr *serve.Manager, shutdown fun
 		return "", nil, nil, err
 	}
 	srv := &http.Server{Handler: serve.NewHandler(m)}
+	//ndavet:allow leaklint:leak srv.Serve returns when the shutdown func closes the listener; the goroutine's lifetime is the server's
 	go func() { _ = srv.Serve(ln) }()
 	shutdown = func() {
 		_ = srv.Close()

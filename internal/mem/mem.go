@@ -96,7 +96,9 @@ func (m *Memory) page(addr uint64, alloc bool) *[PageSize]byte {
 	pn := pageNum(addr)
 	pg := m.pages[pn]
 	if pg == nil && alloc {
+		//ndavet:allow alloclint:op first touch of a page allocates its backing; steady-state stores hit mapped pages
 		pg = new([PageSize]byte)
+		//ndavet:allow alloclint:op page-table insert happens once per touched page, not per store
 		m.pages[pn] = pg
 	}
 	return pg

@@ -331,6 +331,8 @@ func (c *Core) cancelled() bool {
 // fetch-stall expiry) instead of stepping through the dead cycles one by
 // one. Statistics, timing, and outputs are byte-identical to per-cycle
 // stepping; only wall-clock time changes.
+//
+//ndavet:hotpath
 func (c *Core) Run(maxCycles uint64) error {
 	jump := !c.p.Sanitize
 	for !c.halted {
@@ -353,6 +355,8 @@ func (c *Core) Run(maxCycles uint64) error {
 // RunInsts simulates until at least n more instructions commit, HALT
 // commits, or maxCycles elapse. Used by the sampling harness for fixed
 // instruction windows. Like Run, it jumps over provably dead cycles.
+//
+//ndavet:hotpath
 func (c *Core) RunInsts(n, maxCycles uint64) error {
 	jump := !c.p.Sanitize
 	target := c.retired + n
@@ -430,33 +434,39 @@ func (c *Core) skipTo(h uint64) {
 func (c *Core) nextEventCycle() uint64 {
 	const never = ^uint64(0)
 	h := never
-	consider := func(v uint64) {
-		if v > c.cycle && v < h {
-			h = v
-		}
-	}
 	for i := 0; i < c.robLen; i++ {
 		e := c.robAt(i)
 		if e.Issued && !e.Node.Completed {
-			consider(e.CompleteAt)
+			h = earlierEvent(h, c.cycle, e.CompleteAt)
 		} else if e.InIQ && e.RetryAt > c.cycle {
-			consider(e.RetryAt)
+			h = earlierEvent(h, c.cycle, e.RetryAt)
 		}
 		if e.Node.Completed && !e.Node.Broadcast && e.DestP != noPReg && e.HasSafeSince {
-			consider(e.SafeSince + uint64(c.policy.ExtraBroadcastDelay))
+			h = earlierEvent(h, c.cycle, e.SafeSince+uint64(c.policy.ExtraBroadcastDelay))
 		}
 	}
 	if c.commitValidate > c.cycle {
-		consider(c.commitValidate)
+		h = earlierEvent(h, c.cycle, c.commitValidate)
 	}
 	if c.fqLen > 0 {
-		consider(c.fqAt(0).readyAt)
+		h = earlierEvent(h, c.cycle, c.fqAt(0).readyAt)
 	}
 	if !c.fetchWait && !c.fetchDead && !c.halted && c.fetchStall > c.cycle {
-		consider(c.fetchStall)
+		h = earlierEvent(h, c.cycle, c.fetchStall)
 	}
 	if h == never {
 		return c.cycle + 1
+	}
+	return h
+}
+
+// earlierEvent folds one candidate into the event horizon: v replaces h
+// when it is a strictly future cycle (relative to now) earlier than h.
+// A plain function rather than a closure so the skip-ahead scan stays
+// allocation-free (a capturing closure would be an alloclint finding).
+func earlierEvent(h, now, v uint64) uint64 {
+	if v > now && v < h {
+		return v
 	}
 	return h
 }

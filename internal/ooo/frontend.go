@@ -71,11 +71,14 @@ func (c *Core) dispatchStage() {
 		}
 
 		e.InIQ = true
+		//ndavet:allow alloclint:op queue append; backing arrays reach steady capacity during warm-up (bench-gated 0 B/op)
 		c.iq = append(c.iq, e.Slot)
 		if inst.IsLoad() {
+			//ndavet:allow alloclint:op queue append; backing arrays reach steady capacity during warm-up
 			c.lq = append(c.lq, e.Slot)
 		}
 		if inst.IsStore() {
+			//ndavet:allow alloclint:op queue append; backing arrays reach steady capacity during warm-up
 			c.sq = append(c.sq, e.Slot)
 		}
 		if inst.Op == isa.OpFence {

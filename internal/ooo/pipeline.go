@@ -13,6 +13,8 @@ import (
 // completions and broadcasts happen before commit, commit before issue, and
 // newly fetched instructions cannot dispatch until FrontEndDepth cycles
 // after fetch.
+//
+//ndavet:hotpath
 func (c *Core) Step() error {
 	c.cycle++
 	c.progress = false
@@ -33,15 +35,23 @@ func (c *Core) Step() error {
 	c.checkInvariants()
 
 	if c.cycle-c.lastCommit > c.p.DeadlockCycles {
-		head := "empty"
-		if c.robLen > 0 {
-			e := c.robAt(0)
-			head = fmt.Sprintf("%v @%#x issued=%v completed=%v bcast=%v fault=%v",
-				e.Inst, e.PC, e.Issued, e.Node.Completed, e.Node.Broadcast, e.Fault)
-		}
-		return fmt.Errorf("ooo: no commit for %d cycles at cycle %d (head: %s)", c.p.DeadlockCycles, c.cycle, head)
+		return c.deadlockErr()
 	}
 	return nil
+}
+
+// deadlockErr builds the no-commit diagnostic. Step calls it only inside
+// its error return, so the formatting stays off the measured hot path
+// (alloclint's cold-span exemption covers return statements of
+// error-returning functions).
+func (c *Core) deadlockErr() error {
+	head := "empty"
+	if c.robLen > 0 {
+		e := c.robAt(0)
+		head = fmt.Sprintf("%v @%#x issued=%v completed=%v bcast=%v fault=%v",
+			e.Inst, e.PC, e.Issued, e.Node.Completed, e.Node.Broadcast, e.Fault)
+	}
+	return fmt.Errorf("ooo: no commit for %d cycles at cycle %d (head: %s)", c.p.DeadlockCycles, c.cycle, head)
 }
 
 func (c *Core) readP(p int) uint64 {
@@ -119,6 +129,7 @@ func (c *Core) completeExecution() []*Entry {
 			c.resolveStore(e)
 		}
 
+		//ndavet:allow alloclint:op appends into doneBuf, preallocated to ROBSize at reset; never grows
 		done = append(done, e)
 	}
 	c.nextCompleteAt = nextDue
@@ -213,6 +224,7 @@ func (c *Core) resolveStore(e *Entry) {
 		ld := c.entryAt(li)
 		for i, s := range ld.bypassed {
 			if s == e.Slot {
+				//ndavet:allow alloclint:op removal via append to a prefix reslice; the result is shorter than the original, so no growth
 				ld.bypassed = append(ld.bypassed[:i], ld.bypassed[i+1:]...)
 				ld.Node.BypassGuards--
 				break
@@ -231,6 +243,7 @@ func (c *Core) recomputeSafety() {
 	}
 	nodes := c.nodeBuf[:0]
 	for i := 0; i < c.robLen; i++ {
+		//ndavet:allow alloclint:op appends into nodeBuf, preallocated to ROBSize at reset; never grows
 		nodes = append(nodes, &c.robAt(i).Node)
 	}
 	c.policy.RecomputeGuards(nodes)
@@ -363,6 +376,7 @@ func (c *Core) commitInsts() (int, error) {
 		// cycle to issue and fill the cache.
 		if e.Fault != isa.FaultNone {
 			if c.TraceCommit != nil {
+				//ndavet:allow alloclint:call trace hook; nil in measured runs
 				c.TraceCommit(e.PC, e.Inst)
 			}
 			c.retired++
@@ -411,6 +425,7 @@ func (c *Core) commitInsts() (int, error) {
 // retire commits the head entry's architectural side effects and frees it.
 func (c *Core) retire(e *Entry) error {
 	if c.TraceCommit != nil {
+		//ndavet:allow alloclint:call trace hook; nil in measured runs
 		c.TraceCommit(e.PC, e.Inst)
 	}
 	if c.TraceRetire != nil {
@@ -422,6 +437,7 @@ func (c *Core) retire(e *Entry) error {
 		if e.DestP != noPReg {
 			ev.Broadcast = e.BcastCycle
 		}
+		//ndavet:allow alloclint:call trace hook; nil in measured runs
 		c.TraceRetire(ev)
 	}
 	inst := e.Inst
@@ -463,6 +479,7 @@ func (c *Core) retire(e *Entry) error {
 	}
 
 	if e.DestP != noPReg && e.PrevP != noPReg {
+		//ndavet:allow alloclint:op free-list append; the list never exceeds PhysRegs, whose backing array is allocated at reset
 		c.freeList = append(c.freeList, e.PrevP)
 	}
 	if e.Issued {
@@ -544,6 +561,7 @@ func (c *Core) squashFrom(seq, newPC uint64) {
 		if e.DestP != noPReg {
 			rd, _ := e.Inst.WritesReg()
 			c.rat[rd] = e.PrevP
+			//ndavet:allow alloclint:op free-list append; the list never exceeds PhysRegs, whose backing array is allocated at reset
 			c.freeList = append(c.freeList, e.DestP)
 			if e.Node.Completed && !e.Node.Broadcast {
 				c.pendingBcast--
@@ -584,18 +602,23 @@ func (c *Core) squashFrom(seq, newPC uint64) {
 }
 
 func (c *Core) filterQueues(seq uint64) {
-	filter := func(q []int32) []int32 {
-		kept := q[:0]
-		for _, si := range q {
-			if c.rob[si].Seq < seq {
-				kept = append(kept, si)
-			}
+	c.iq = c.filterQueue(c.iq, seq)
+	c.lq = c.filterQueue(c.lq, seq)
+	c.sq = c.filterQueue(c.sq, seq)
+}
+
+// filterQueue drops the slots at or above the squash point. A method
+// rather than a closure inside filterQueues so the squash path stays
+// visible to the static hot-path walk.
+func (c *Core) filterQueue(q []int32, seq uint64) []int32 {
+	kept := q[:0]
+	for _, si := range q {
+		if c.rob[si].Seq < seq {
+			//ndavet:allow alloclint:op compaction into q[:0] appends at most len(q) elements, so it can never grow the backing array
+			kept = append(kept, si)
 		}
-		return kept
 	}
-	c.iq = filter(c.iq)
-	c.lq = filter(c.lq)
-	c.sq = filter(c.sq)
+	return kept
 }
 
 // ---- issue & execute ----
@@ -637,6 +660,7 @@ func (c *Core) issueStage() {
 		kept := c.iq[:0]
 		for _, si := range c.iq {
 			if si >= 0 {
+				//ndavet:allow alloclint:op compaction into iq[:0] appends at most len(iq) elements, so it can never grow the backing array
 				kept = append(kept, si)
 			}
 		}
@@ -824,6 +848,7 @@ func (c *Core) executeLoad(e *Entry) bool {
 			continue
 		}
 		if !s.Issued || !s.AddrKnown {
+			//ndavet:allow alloclint:op the bypass set is bounded by store-queue length; backing arrays reach steady capacity at warm-up
 			e.bypassed = append(e.bypassed, s.Slot)
 			continue
 		}

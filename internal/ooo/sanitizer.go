@@ -62,8 +62,10 @@ func (c *Core) SanitizerLog() []Violation { return c.sanLog }
 func (c *Core) sanViolate(check string, pc, seq uint64, format string, args ...any) {
 	c.sanCount++
 	if len(c.sanLog) < maxSanitizerLog {
+		//ndavet:allow alloclint:op sanitizer log append; runs only with Params.Sanitize set, and measured windows run with it off
 		c.sanLog = append(c.sanLog, Violation{
 			Cycle: c.cycle, Check: check, PC: pc, Seq: seq,
+			//ndavet:allow alloclint:call sanitizer detail formatting; measured windows run with the sanitizer off
 			Detail: fmt.Sprintf(format, args...),
 		})
 	}
@@ -76,8 +78,11 @@ func (c *Core) checkInvariants() {
 		return
 	}
 	if c.sanWriterMark == nil {
+		//ndavet:allow alloclint:op one-time sanitizer scratch allocation, and only with Params.Sanitize set
 		c.sanWriterMark = make([]uint64, c.p.PhysRegs)
+		//ndavet:allow alloclint:op one-time sanitizer scratch allocation, and only with Params.Sanitize set
 		c.sanWriterSeq = make([]uint64, c.p.PhysRegs)
+		//ndavet:allow alloclint:op one-time sanitizer scratch allocation, and only with Params.Sanitize set
 		c.sanWriterBcast = make([]bool, c.p.PhysRegs)
 	}
 
